@@ -1,0 +1,62 @@
+//! Benchmarks for the section 5 model: closed forms (eqs. 11/13), the
+//! viability condition (eq. 14), the numeric cross-validator, and the
+//! decay fit of section 5.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_econ::optimum::minimize_scalar;
+use rp_econ::{fit_decay, optimal_direct, optimal_remote, viability_margin, CostParams};
+use std::hint::black_box;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let params = CostParams::example();
+    c.bench_function("econ/eq11_optimal_direct", |b| {
+        b.iter(|| optimal_direct(black_box(&params)))
+    });
+    c.bench_function("econ/eq13_optimal_remote", |b| {
+        b.iter(|| optimal_remote(black_box(&params)))
+    });
+    c.bench_function("econ/eq14_viability_margin", |b| {
+        b.iter(|| viability_margin(black_box(&params)))
+    });
+    c.bench_function("econ/numeric_minimizer_referee", |b| {
+        b.iter(|| minimize_scalar(|n| params.cost_direct_only(n), 0.0, 50.0, 1e-9))
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let curve: Vec<f64> = (0..30).map(|k| (-0.35 * k as f64).exp()).collect();
+    c.bench_function("econ/fit_decay_30_points", |b| {
+        b.iter(|| fit_decay(black_box(&curve)))
+    });
+}
+
+fn bench_parameter_sweep(c: &mut Criterion) {
+    // The repro binary's econ sweep: full optimum + viability over a grid.
+    c.bench_function("econ/sweep_1000_parameterizations", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10 {
+                for j in 0..10 {
+                    for k in 0..10 {
+                        let params = CostParams {
+                            b: 0.1 + i as f64 * 0.2,
+                            g: 0.05 + j as f64 * 0.04,
+                            h: 0.01 + k as f64 * 0.003,
+                            ..CostParams::example()
+                        };
+                        acc += optimal_remote(&params).cost + viability_margin(&params);
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_closed_forms,
+    bench_fit,
+    bench_parameter_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks for the extension analyses: traceroute surveys, relationship
+//! inference, the flattening computation, and the integer economics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remote_peering::campaign::Campaign;
+use remote_peering::flattening::flattening_analysis;
+use remote_peering::offload::{OffloadStudy, PeerGroup};
+use remote_peering::world::{World, WorldConfig};
+use rp_bgp::{collect_paths, infer_gao};
+use rp_econ::{optimal_integer, optimal_joint, CostParams};
+use rp_topology::AsType;
+use std::hint::black_box;
+
+fn bench_traceroute(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let campaign = Campaign::default_paper();
+    let ixp = world.studied_ixps()[0];
+    c.bench_function("extensions/traceroute_survey_one_ixp", |b| {
+        b.iter(|| campaign.traceroute_survey(black_box(&world), ixp, 4))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let collectors: Vec<_> = world
+        .topology
+        .of_type(AsType::Transit)
+        .take(3)
+        .map(|a| a.id)
+        .collect();
+    c.bench_function("extensions/collect_paths_3_collectors", |b| {
+        b.iter(|| collect_paths(black_box(&world.topology), black_box(&collectors)))
+    });
+    let paths = collect_paths(&world.topology, &collectors);
+    c.bench_function("extensions/infer_gao", |b| {
+        b.iter(|| infer_gao(black_box(&paths)))
+    });
+}
+
+fn bench_flattening(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let study = OffloadStudy::new(&world);
+    c.bench_function("extensions/flattening_analysis_5_ixps", |b| {
+        b.iter(|| flattening_analysis(black_box(&world), &study, PeerGroup::All, 5))
+    });
+}
+
+fn bench_integer_econ(c: &mut Criterion) {
+    let params = CostParams::example();
+    c.bench_function("extensions/optimal_joint", |b| {
+        b.iter(|| optimal_joint(black_box(&params)))
+    });
+    c.bench_function("extensions/optimal_integer", |b| {
+        b.iter(|| optimal_integer(black_box(&params)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_traceroute,
+    bench_inference,
+    bench_flattening,
+    bench_integer_econ
+);
+criterion_main!(benches);

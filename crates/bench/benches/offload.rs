@@ -1,0 +1,53 @@
+//! Benchmarks for the section 4 machinery: cone unions, per-IXP potentials
+//! (figure 7), the overlap analysis (figure 8), and the greedy expansions
+//! (figures 9 and 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remote_peering::offload::{GreedyMetric, OffloadStudy, PeerGroup};
+use remote_peering::world::{World, WorldConfig};
+use rp_topology::cone::cone_union;
+use rp_types::NetworkId;
+use std::hint::black_box;
+
+fn bench_offload(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::test_scale(42));
+
+    c.bench_function("offload/study_setup_with_exclusions", |b| {
+        b.iter(|| OffloadStudy::new(black_box(&world)))
+    });
+
+    let study = OffloadStudy::new(&world);
+    c.bench_function("offload/fig7_single_ixp_ranking", |b| {
+        b.iter(|| study.single_ixp_ranking())
+    });
+
+    let ranking = study.single_ixp_ranking();
+    let (first, _) = ranking[0];
+    let (second, _) = ranking[1];
+    c.bench_function("offload/fig8_second_ixp_residual", |b| {
+        b.iter(|| study.remaining_after(black_box(first), black_box(second), PeerGroup::All))
+    });
+
+    c.bench_function("offload/fig9_greedy_traffic_30_steps", |b| {
+        b.iter(|| study.greedy_by(PeerGroup::All, 30, GreedyMetric::Traffic))
+    });
+    c.bench_function("offload/fig10_greedy_interfaces_30_steps", |b| {
+        b.iter(|| study.greedy_by(PeerGroup::All, 30, GreedyMetric::Interfaces))
+    });
+}
+
+fn bench_cones(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let roots: Vec<NetworkId> = world
+        .scene
+        .ixps
+        .iter()
+        .flat_map(|x| x.member_network_ids())
+        .collect();
+    c.bench_function("cones/union_all_members", |b| {
+        b.iter(|| cone_union(black_box(&world.topology), black_box(&roots)))
+    });
+}
+
+criterion_group!(benches, bench_offload, bench_cones);
+criterion_main!(benches);

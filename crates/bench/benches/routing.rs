@@ -1,0 +1,47 @@
+//! Benchmarks for the BGP substrate: route propagation and the forwarding
+//! view the offload study consumes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bgp::{propagate, propagate_iterative, RoutingView};
+use rp_topology::{generate, AsType, TopologyConfig};
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let small = generate(&TopologyConfig::test_scale(5));
+    let origin = small.of_type(AsType::Nren).next().unwrap().id;
+
+    c.bench_function("bgp/propagate_staged_400as", |b| {
+        b.iter(|| propagate(black_box(&small), black_box(origin)))
+    });
+    c.bench_function("bgp/propagate_iterative_400as", |b| {
+        b.iter(|| propagate_iterative(black_box(&small), black_box(origin)))
+    });
+
+    // The paper-scale graph the experiments actually route over.
+    let large = generate(&TopologyConfig::paper_scale(5));
+    let origin_large = large.of_type(AsType::Nren).next().unwrap().id;
+    let mut g = c.benchmark_group("bgp/paper_scale");
+    g.sample_size(10);
+    g.bench_function("propagate_staged_31k_as", |b| {
+        b.iter(|| propagate(black_box(&large), black_box(origin_large)))
+    });
+    g.bench_function("routing_view_31k_as", |b| {
+        b.iter(|| RoutingView::new(black_box(&large), black_box(origin_large)))
+    });
+    g.finish();
+}
+
+fn bench_topology_generation(c: &mut Criterion) {
+    c.bench_function("topology/generate_test_scale", |b| {
+        b.iter(|| generate(black_box(&TopologyConfig::test_scale(9))))
+    });
+    let mut g = c.benchmark_group("topology/paper_scale");
+    g.sample_size(10);
+    g.bench_function("generate_31k_as", |b| {
+        b.iter(|| generate(black_box(&TopologyConfig::paper_scale(9))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_topology_generation);
+criterion_main!(benches);

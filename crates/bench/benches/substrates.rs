@@ -1,0 +1,76 @@
+//! Benchmarks for the remaining substrates: the packet simulator's event
+//! loop and the traffic model (figures 5a/5b machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bgp::RoutingView;
+use rp_netsim::{DelayModel, Network, RouterBehavior};
+use rp_topology::{generate, AsType, TopologyConfig};
+use rp_traffic::model::{contributions, TrafficConfig};
+use rp_traffic::netflow::percentile_95;
+use rp_traffic::series::{aggregate_series, SeriesParams};
+use rp_types::{Bps, SimDuration, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+/// A star of 200 member routers behind one fabric switch, pinged 10 times
+/// each — the netsim workload shape of one small IXP.
+fn bench_netsim(c: &mut Criterion) {
+    c.bench_function("netsim/star_200_members_2000_pings", |b| {
+        b.iter(|| {
+            let mut net = Network::new(7);
+            let fabric = net.add_switch();
+            let lg = net.add_host();
+            let (_, lgp) = net.connect(fabric, lg, DelayModel::with_one_way_ms(0.05));
+            net.bind_host(lg, lgp, Ipv4Addr::new(10, 0, 0, 1));
+            let mut targets = Vec::new();
+            for k in 0..200u32 {
+                let r = net.add_router(RouterBehavior::default());
+                let (_, rp) = net.connect(fabric, r, DelayModel::with_one_way_ms(0.4));
+                let ip = Ipv4Addr::new(10, 0, (2 + k / 200) as u8, (2 + k % 200) as u8);
+                net.bind_router(r, rp, ip);
+                targets.push(ip);
+            }
+            for (i, &t) in targets.iter().enumerate() {
+                for q in 0..10u64 {
+                    net.plan_ping(
+                        lg,
+                        SimTime::ZERO + SimDuration::from_secs(q * 200 + i as u64),
+                        t,
+                    );
+                }
+            }
+            net.run_to_completion();
+            black_box(net.events_processed())
+        })
+    });
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::test_scale(3));
+    let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+    let view = RoutingView::new(&topo, vantage);
+    let cfg = TrafficConfig::default();
+
+    c.bench_function("traffic/fig5a_contributions", |b| {
+        b.iter(|| contributions(black_box(&topo), black_box(&view), black_box(&cfg)))
+    });
+
+    let contrib = contributions(&topo, &view, &cfg);
+    let rates: Vec<(Bps, u16)> = topo
+        .ids()
+        .filter(|id| contrib.inbound[id.index()].0 > 0.0)
+        .map(|id| (contrib.inbound[id.index()], topo.node(id).home_city))
+        .collect();
+    let params = SeriesParams::default();
+    c.bench_function("traffic/fig5b_month_of_5min_bins", |b| {
+        b.iter(|| aggregate_series(rates.iter().copied(), black_box(&params)))
+    });
+
+    let series = aggregate_series(rates.iter().copied(), &params);
+    c.bench_function("traffic/95th_percentile_billing", |b| {
+        b.iter(|| percentile_95(black_box(&series)))
+    });
+}
+
+criterion_group!(benches, bench_netsim, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
+//!
+//! EXPERIMENT: table1 | fig2 | fig3 | fig4a | fig4b | validate | fig5a |
+//!             fig5b | fig6 | fig7 | fig8 | fig9 | fig10 | econ | fit |
+//!             ablate | threshold | flattening | implications | invisibility |
+//!             inference | africa | seeds | all
+//! ```
+//!
+//! Text goes to stdout; raw numbers are written as JSON under `--out`
+//! (default `results/`).
+
+use remote_peering::campaign::Campaign;
+use remote_peering::detect::DetectionReport;
+use remote_peering::identify::Identification;
+use remote_peering::offload::OffloadStudy;
+use remote_peering::world::{World, WorldConfig};
+use rp_bench::experiments::{self, ExperimentOutput};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    experiment: String,
+    seed: u64,
+    scale: String,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".into(),
+        seed: 42,
+        scale: "paper".into(),
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric seed"),
+            "--scale" => args.scale = it.next().expect("--scale test|paper"),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            "--help" | "-h" => {
+                println!("usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn emit(out_dir: &PathBuf, output: &ExperimentOutput) {
+    println!(
+        "==== {} {}",
+        output.id,
+        "=".repeat(60_usize.saturating_sub(output.id.len()))
+    );
+    println!("{}", output.text);
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let path = out_dir.join(format!("{}.json", output.id));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&output.json).expect("serialize"),
+    )
+    .expect("write json");
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match args.scale.as_str() {
+        "paper" => WorldConfig::paper_scale(args.seed),
+        "test" => WorldConfig::test_scale(args.seed),
+        other => panic!("unknown scale {other} (use test|paper)"),
+    };
+
+    let t0 = Instant::now();
+    eprintln!(
+        "building world (scale={}, seed={})...",
+        args.scale, args.seed
+    );
+    let world = World::build(&cfg);
+    eprintln!(
+        "  {} ASes, {} IXPs, {} interfaces, vantage {} [{:.1?}]",
+        world.topology.len(),
+        world.scene.ixps.len(),
+        world.scene.total_interfaces(),
+        world.topology.node(world.vantage).asn,
+        t0.elapsed()
+    );
+
+    let campaign = Campaign::default_paper();
+    let wants = |ids: &[&str]| ids.contains(&args.experiment.as_str()) || args.experiment == "all";
+
+    // Detection-side experiments share one probing run.
+    let detection_needed = wants(&[
+        "table1",
+        "fig2",
+        "fig3",
+        "fig4a",
+        "fig4b",
+        "validate",
+        "threshold",
+    ]);
+    let report = if detection_needed {
+        let t = Instant::now();
+        eprintln!(
+            "running probing campaign at {} IXPs...",
+            world.studied_ixps().len()
+        );
+        let r = DetectionReport::run(&world, &campaign);
+        eprintln!(
+            "  {} interfaces analyzed [{:.1?}]",
+            r.stats.analyzed,
+            t.elapsed()
+        );
+        Some(r)
+    } else {
+        None
+    };
+
+    // Offload-side experiments share one study.
+    let offload_needed = wants(&[
+        "fig5a",
+        "fig5b",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fit",
+        "flattening",
+    ]);
+    let study = if offload_needed {
+        let t = Instant::now();
+        eprintln!("preparing offload study...");
+        let s = OffloadStudy::new(&world);
+        eprintln!("  done [{:.1?}]", t.elapsed());
+        Some(s)
+    } else {
+        None
+    };
+
+    if let Some(report) = &report {
+        let ident = Identification::from_report(report);
+        if wants(&["table1"]) {
+            emit(&args.out, &experiments::table1(&world, report));
+        }
+        if wants(&["fig2"]) {
+            emit(&args.out, &experiments::fig2(report));
+        }
+        if wants(&["fig3"]) {
+            emit(&args.out, &experiments::fig3(&world, report));
+        }
+        if wants(&["fig4a"]) {
+            emit(&args.out, &experiments::fig4a(&ident));
+        }
+        if wants(&["fig4b"]) {
+            emit(&args.out, &experiments::fig4b(&ident));
+        }
+        if wants(&["validate"]) {
+            emit(
+                &args.out,
+                &experiments::validation(&world, &campaign, report),
+            );
+        }
+        if wants(&["threshold"]) {
+            emit(
+                &args.out,
+                &experiments::threshold_sweep(&world, &campaign, report),
+            );
+        }
+    }
+
+    // Ablation re-probes with modified filter configs; it is opt-in (also
+    // included in `all`).
+    if wants(&["ablate"]) {
+        emit(&args.out, &experiments::filter_ablation(&world, &campaign));
+    }
+
+    if let Some(study) = &study {
+        if wants(&["fig5a"]) {
+            emit(&args.out, &experiments::fig5a(&world, study));
+        }
+        if wants(&["fig5b"]) {
+            emit(&args.out, &experiments::fig5b(&world, study));
+        }
+        if wants(&["fig6"]) {
+            emit(&args.out, &experiments::fig6(&world, study));
+        }
+        if wants(&["fig7"]) {
+            emit(&args.out, &experiments::fig7(&world, study));
+        }
+        if wants(&["fig8"]) {
+            emit(&args.out, &experiments::fig8(&world, study));
+        }
+        if wants(&["fig9"]) {
+            emit(&args.out, &experiments::fig9(&world, study));
+        }
+        if wants(&["fig10"]) {
+            emit(&args.out, &experiments::fig10(&world, study));
+        }
+        if wants(&["fit"]) {
+            emit(&args.out, &experiments::decay_fit(&world, study));
+        }
+        if wants(&["flattening"]) {
+            emit(&args.out, &experiments::flattening(&world, study));
+        }
+    }
+
+    if wants(&["inference"]) {
+        emit(&args.out, &experiments::inference(&world));
+    }
+
+    if wants(&["invisibility"]) {
+        emit(&args.out, &experiments::invisibility(&world, &campaign));
+    }
+
+    if wants(&["implications"]) {
+        emit(&args.out, &experiments::implications(&world));
+    }
+
+    if wants(&["africa"]) {
+        emit(&args.out, &experiments::africa(&world));
+    }
+
+    if args.experiment == "seeds" {
+        // Not part of `all` (it rebuilds the world five times).
+        emit(
+            &args.out,
+            &experiments::seed_robustness(args.seed, args.scale == "paper"),
+        );
+    }
+
+    if wants(&["econ"]) {
+        emit(&args.out, &experiments::econ_analysis());
+    }
+
+    eprintln!("total: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,315 @@
+//! Route propagation engines.
+//!
+//! Both engines compute, for a single origin AS, every other AS's best
+//! valley-free route toward it under the standard policy model:
+//!
+//! - **export**: a route learned from a customer (or originated) is exported
+//!   to all neighbors; a route learned from a peer or provider is exported
+//!   only to customers;
+//! - **selection**: prefer customer routes over peer routes over provider
+//!   routes; break ties by shortest AS path, then lowest next-hop ASN.
+
+use crate::route::{RouteClass, RouteInfo};
+use rp_topology::Topology;
+use rp_types::NetworkId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Staged single-origin computation: customer wave (BFS up the provider
+/// edges), peer step, then provider relaxation (Dijkstra down the customer
+/// edges). Near-linear in the number of edges; used at paper scale.
+pub fn propagate(topo: &Topology, origin: NetworkId) -> Vec<Option<RouteInfo>> {
+    let n = topo.len();
+    let mut class: Vec<Option<RouteClass>> = vec![None; n];
+    let mut next: Vec<Option<NetworkId>> = vec![None; n];
+    let mut dist: Vec<usize> = vec![usize::MAX; n];
+
+    class[origin.index()] = Some(RouteClass::Origin);
+    dist[origin.index()] = 0;
+
+    // --- Stage 1: customer routes climb from the origin via provider edges.
+    let mut wave = vec![origin];
+    while !wave.is_empty() {
+        // Candidates discovered this wave: target -> best advertising
+        // customer (lowest ASN wins among same-length candidates).
+        let mut candidate: Vec<Option<NetworkId>> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        candidate.resize(n, None);
+        for &u in &wave {
+            for &p in topo.providers(u) {
+                if class[p.index()].is_some() {
+                    continue;
+                }
+                match candidate[p.index()] {
+                    None => {
+                        candidate[p.index()] = Some(u);
+                        touched.push(p.index());
+                    }
+                    Some(prev) => {
+                        if topo.node(u).asn < topo.node(prev).asn {
+                            candidate[p.index()] = Some(u);
+                        }
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        let mut next_wave = Vec::with_capacity(touched.len());
+        for t in touched {
+            let u = candidate[t].expect("touched implies candidate");
+            class[t] = Some(RouteClass::Customer);
+            next[t] = Some(u);
+            dist[t] = dist[u.index()] + 1;
+            next_wave.push(NetworkId(t as u32));
+        }
+        wave = next_wave;
+    }
+
+    // --- Stage 2: peer routes. An AS with a customer route (or the origin)
+    // exports it across each peering edge; receivers without a better class
+    // pick the peer minimizing (advertised length, peer ASN).
+    let mut peer_assign: Vec<(usize, NetworkId)> = Vec::new();
+    for v in 0..n {
+        if class[v].is_some() {
+            continue;
+        }
+        let mut best: Option<(usize, u32, NetworkId)> = None;
+        for &w in topo.peers(NetworkId(v as u32)) {
+            let exports = matches!(
+                class[w.index()],
+                Some(RouteClass::Origin) | Some(RouteClass::Customer)
+            );
+            if !exports {
+                continue;
+            }
+            let key = (dist[w.index()], topo.node(w).asn.0, w);
+            if best.map(|b| (key.0, key.1) < (b.0, b.1)).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        if let Some((d, _, w)) = best {
+            peer_assign.push((v, w));
+            dist[v] = d + 1;
+        }
+    }
+    for (v, w) in peer_assign {
+        class[v] = Some(RouteClass::Peer);
+        next[v] = Some(w);
+    }
+
+    // --- Stage 3: provider routes descend the customer edges; Dijkstra
+    // keyed by (path length, next-hop ASN) so the first assignment is best.
+    let mut heap: BinaryHeap<Reverse<(usize, u32, u32, u32)>> = BinaryHeap::new();
+    for u in 0..n {
+        if class[u].is_none() {
+            continue;
+        }
+        for &c in topo.customers(NetworkId(u as u32)) {
+            if class[c.index()].is_none() {
+                heap.push(Reverse((
+                    dist[u] + 1,
+                    topo.node(NetworkId(u as u32)).asn.0,
+                    c.0,
+                    u as u32,
+                )));
+            }
+        }
+    }
+    while let Some(Reverse((d, _asn, c, u))) = heap.pop() {
+        let c_idx = c as usize;
+        if class[c_idx].is_some() {
+            continue;
+        }
+        class[c_idx] = Some(RouteClass::Provider);
+        next[c_idx] = Some(NetworkId(u));
+        dist[c_idx] = d;
+        for &cc in topo.customers(NetworkId(c)) {
+            if class[cc.index()].is_none() {
+                heap.push(Reverse((d + 1, topo.node(NetworkId(c)).asn.0, cc.0, c)));
+            }
+        }
+    }
+
+    // --- Materialize paths by following next-hop pointers.
+    (0..n)
+        .map(|v| {
+            let cls = class[v]?;
+            let mut path = Vec::with_capacity(dist[v]);
+            let mut cur = v;
+            while let Some(h) = next[cur] {
+                path.push(h);
+                cur = h.index();
+            }
+            debug_assert_eq!(path.len(), dist[v]);
+            Some(RouteInfo { class: cls, path })
+        })
+        .collect()
+}
+
+/// Preference key: smaller is better.
+fn pref_key(topo: &Topology, r: &RouteInfo) -> (RouteClass, usize, u32) {
+    let next_asn = r.next_hop().map(|h| topo.node(h).asn.0).unwrap_or(0);
+    (r.class, r.len(), next_asn)
+}
+
+/// Message-passing BGP emulation: the origin announces to its neighbors and
+/// updates propagate until no AS can improve its best route. Quadratic-ish
+/// and allocation-heavy — use on small topologies to cross-validate
+/// [`propagate`].
+pub fn propagate_iterative(topo: &Topology, origin: NetworkId) -> Vec<Option<RouteInfo>> {
+    let n = topo.len();
+    let mut best: Vec<Option<RouteInfo>> = vec![None; n];
+    best[origin.index()] = Some(RouteInfo {
+        class: RouteClass::Origin,
+        path: vec![],
+    });
+
+    // (receiver, sender, path advertised by sender).
+    let mut queue: VecDeque<(NetworkId, NetworkId, Vec<NetworkId>)> = VecDeque::new();
+    let announce =
+        |queue: &mut VecDeque<_>, topo: &Topology, sender: NetworkId, route: &RouteInfo| {
+            let export_all = matches!(route.class, RouteClass::Origin | RouteClass::Customer);
+            let advertised = route.path.clone();
+            for &c in topo.customers(sender) {
+                queue.push_back((c, sender, advertised.clone()));
+            }
+            if export_all {
+                for &p in topo.providers(sender) {
+                    queue.push_back((p, sender, advertised.clone()));
+                }
+                for &w in topo.peers(sender) {
+                    queue.push_back((w, sender, advertised.clone()));
+                }
+            }
+        };
+
+    let origin_route = best[origin.index()].clone().unwrap();
+    announce(&mut queue, topo, origin, &origin_route);
+
+    while let Some((recv, sender, sender_path)) = queue.pop_front() {
+        // Loop prevention: BGP drops paths containing the receiver's ASN.
+        if sender_path.contains(&recv) || recv == origin {
+            continue;
+        }
+        let class = if topo.customers(recv).contains(&sender) {
+            RouteClass::Customer
+        } else if topo.peers(recv).contains(&sender) {
+            RouteClass::Peer
+        } else {
+            RouteClass::Provider
+        };
+        let mut path = Vec::with_capacity(sender_path.len() + 1);
+        path.push(sender);
+        path.extend_from_slice(&sender_path);
+        let candidate = RouteInfo { class, path };
+        let better = match &best[recv.index()] {
+            None => true,
+            Some(cur) => pref_key(topo, &candidate) < pref_key(topo, cur),
+        };
+        if better {
+            best[recv.index()] = Some(candidate.clone());
+            announce(&mut queue, topo, recv, &candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{is_simple, is_valley_free};
+    use rp_topology::{generate, TopologyConfig};
+
+    fn full_path(start: NetworkId, r: &RouteInfo) -> Vec<NetworkId> {
+        let mut p = vec![start];
+        p.extend_from_slice(&r.path);
+        p
+    }
+
+    #[test]
+    fn all_routes_reach_origin_on_generated_topology() {
+        let topo = generate(&TopologyConfig::test_scale(11));
+        let origin = topo.ids().next().unwrap();
+        let routes = propagate(&topo, origin);
+        for (v, r) in routes.iter().enumerate() {
+            let r = r.as_ref().unwrap_or_else(|| panic!("N{v} unreachable"));
+            if !r.is_empty() {
+                assert_eq!(*r.path.last().unwrap(), origin);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_valley_free_and_simple() {
+        let topo = generate(&TopologyConfig::test_scale(12));
+        // Use an NREN as origin — mirrors the RedIRIS vantage.
+        let origin = topo.of_type(rp_topology::AsType::Nren).next().unwrap().id;
+        let routes = propagate(&topo, origin);
+        for v in topo.ids() {
+            if let Some(r) = &routes[v.index()] {
+                let p = full_path(v, r);
+                assert!(is_valley_free(&topo, &p), "{v}: {p:?}");
+                assert!(is_simple(&p), "{v}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_preferred_over_shorter_provider_routes() {
+        // Origin is a stub; its provider has both a customer route (via the
+        // origin, length 1) and nothing better — while the provider's own
+        // provider must use the customer chain.
+        let topo = generate(&TopologyConfig::test_scale(13));
+        let origin = topo
+            .ids()
+            .find(|id| !topo.customers(*id).is_empty() && !topo.providers(*id).is_empty())
+            .unwrap();
+        let routes = propagate(&topo, origin);
+        for &p in topo.providers(origin) {
+            let r = routes[p.index()].as_ref().unwrap();
+            assert_eq!(r.class, RouteClass::Customer, "provider of origin");
+            assert_eq!(r.len(), 1);
+        }
+        for &c in topo.customers(origin) {
+            let r = routes[c.index()].as_ref().unwrap();
+            // A customer of the origin can never hold a customer-class route
+            // to it (the customer DAG has no cycles); it reaches the origin
+            // via its provider or, if better, via a peer whose cone holds
+            // the origin.
+            assert_ne!(r.class, RouteClass::Customer, "customer of origin");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_generated_topologies() {
+        for seed in 0..4u64 {
+            let topo = generate(&TopologyConfig::test_scale(100 + seed));
+            let origin = topo.ids().nth(seed as usize * 7 % topo.len()).unwrap();
+            let fast = propagate(&topo, origin);
+            let slow = propagate_iterative(&topo, origin);
+            for v in topo.ids() {
+                let (f, s) = (&fast[v.index()], &slow[v.index()]);
+                match (f, s) {
+                    (Some(f), Some(s)) => {
+                        assert_eq!(f.class, s.class, "class at {v} (seed {seed})");
+                        assert_eq!(f.len(), s.len(), "length at {v} (seed {seed})");
+                        // Next-hop tie-breaking must agree as well.
+                        assert_eq!(f.next_hop(), s.next_hop(), "next hop at {v}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("reachability disagreement at {v} (seed {seed})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn origin_route_is_origin() {
+        let topo = generate(&TopologyConfig::test_scale(14));
+        let origin = topo.ids().last().unwrap();
+        let routes = propagate(&topo, origin);
+        let r = routes[origin.index()].as_ref().unwrap();
+        assert_eq!(r.class, RouteClass::Origin);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Route representation and validity checks.
+
+use rp_topology::Topology;
+use rp_types::NetworkId;
+use serde::{Deserialize, Serialize};
+
+/// How an AS learned its best route toward the origin, in decreasing
+/// preference order (the derived `Ord` encodes BGP local preference:
+/// `Origin < Customer < Peer < Provider`, smaller = preferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RouteClass {
+    /// The AS *is* the origin.
+    Origin,
+    /// Learned from a transit customer (revenue route — most preferred).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider (costs money — least preferred).
+    Provider,
+}
+
+/// An AS's best route toward the propagation origin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteInfo {
+    /// Preference class of the route at this AS.
+    pub class: RouteClass,
+    /// AS path toward the origin: `path[0]` is the next hop, the last
+    /// element is the origin itself. Empty exactly when `class == Origin`.
+    pub path: Vec<NetworkId>,
+}
+
+impl RouteInfo {
+    /// AS-path length in hops (0 for the origin itself).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True for the origin's own (empty-path) route.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// Next hop toward the origin, `None` at the origin.
+    #[inline]
+    pub fn next_hop(&self) -> Option<NetworkId> {
+        self.path.first().copied()
+    }
+}
+
+/// Relationship step along a path, for valley-freeness checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Toward a provider ("uphill").
+    Up,
+    /// Across a peering edge ("flat").
+    Flat,
+    /// Toward a customer ("downhill").
+    Down,
+}
+
+fn step(topo: &Topology, from: NetworkId, to: NetworkId) -> Option<Step> {
+    if topo.providers(from).contains(&to) {
+        Some(Step::Up)
+    } else if topo.customers(from).contains(&to) {
+        Some(Step::Down)
+    } else if topo.peers(from).contains(&to) {
+        Some(Step::Flat)
+    } else {
+        None
+    }
+}
+
+/// Check that `full_path` (a sequence of adjacent ASes, *including* both
+/// endpoints) is valley-free: a prefix of uphill steps, at most one flat
+/// (peering) step, then downhill steps. Returns `false` if any consecutive
+/// pair is not adjacent in the topology.
+pub fn is_valley_free(topo: &Topology, full_path: &[NetworkId]) -> bool {
+    // State machine over {uphill, flat-done, downhill}.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Phase {
+        Climbing,
+        Peered,
+        Descending,
+    }
+    let mut phase = Phase::Climbing;
+    for w in full_path.windows(2) {
+        let Some(s) = step(topo, w[0], w[1]) else {
+            return false;
+        };
+        phase = match (phase, s) {
+            (Phase::Climbing, Step::Up) => Phase::Climbing,
+            (Phase::Climbing, Step::Flat) => Phase::Peered,
+            (Phase::Climbing, Step::Down) => Phase::Descending,
+            (Phase::Peered, Step::Down) => Phase::Descending,
+            (Phase::Descending, Step::Down) => Phase::Descending,
+            _ => return false,
+        };
+    }
+    true
+}
+
+/// Check that a path visits no AS twice.
+pub fn is_simple(full_path: &[NetworkId]) -> bool {
+    let mut seen: Vec<NetworkId> = full_path.to_vec();
+    seen.sort_unstable();
+    seen.windows(2).all(|w| w[0] != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_topology::{AsNode, AsType, PeeringPolicy, Topology};
+    use rp_types::{Asn, OrgId};
+
+    fn chain() -> Topology {
+        // 0 (tier1) provides 1, which provides 2; 1 peers with 3 (tier1-ish
+        // sibling also under 0).
+        let mk = |i: u32, kind, level| AsNode {
+            id: NetworkId(i),
+            asn: Asn(100 + i),
+            org: OrgId(i),
+            kind,
+            policy: PeeringPolicy::Open,
+            home_city: 0,
+            address_space: 1,
+            prominence: 1.0,
+            level,
+        };
+        use rp_topology::model::{Edge, Org, Relationship};
+        let ases = vec![
+            mk(0, AsType::Tier1, 0),
+            mk(1, AsType::Transit, 1),
+            mk(2, AsType::Enterprise, 2),
+            mk(3, AsType::Transit, 1),
+        ];
+        let orgs = (0..4)
+            .map(|i| Org {
+                id: OrgId(i),
+                name: format!("o{i}"),
+                networks: vec![NetworkId(i)],
+            })
+            .collect();
+        let edges = vec![
+            Edge {
+                a: NetworkId(0),
+                b: NetworkId(1),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(1),
+                b: NetworkId(2),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(0),
+                b: NetworkId(3),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(1),
+                b: NetworkId(3),
+                rel: Relationship::PeerOf,
+            },
+        ];
+        Topology::assemble(ases, orgs, edges)
+    }
+
+    #[test]
+    fn class_ordering_matches_bgp_preference() {
+        assert!(RouteClass::Origin < RouteClass::Customer);
+        assert!(RouteClass::Customer < RouteClass::Peer);
+        assert!(RouteClass::Peer < RouteClass::Provider);
+    }
+
+    #[test]
+    fn valley_free_accepts_up_flat_down() {
+        let t = chain();
+        let n = |i: u32| NetworkId(i);
+        // 2 → 1 (up) → 3 (flat): valid.
+        assert!(is_valley_free(&t, &[n(2), n(1), n(3)]));
+        // 2 → 1 → 0 (up, up): valid.
+        assert!(is_valley_free(&t, &[n(2), n(1), n(0)]));
+        // 0 → 1 → 2 (down, down): valid.
+        assert!(is_valley_free(&t, &[n(0), n(1), n(2)]));
+        // 3 (flat to 1) then up to 0: peer then up — a valley. Invalid.
+        assert!(!is_valley_free(&t, &[n(3), n(1), n(0)]));
+        // 0 → 1 (down) → 3 (flat): down then flat — invalid.
+        assert!(!is_valley_free(&t, &[n(0), n(1), n(3)]));
+        // Non-adjacent pair: invalid.
+        assert!(!is_valley_free(&t, &[n(2), n(3)]));
+    }
+
+    #[test]
+    fn simple_path_detection() {
+        let n = |i: u32| NetworkId(i);
+        assert!(is_simple(&[n(0), n(1), n(2)]));
+        assert!(!is_simple(&[n(0), n(1), n(0)]));
+    }
+
+    #[test]
+    fn route_info_accessors() {
+        let r = RouteInfo {
+            class: RouteClass::Peer,
+            path: vec![NetworkId(4), NetworkId(9)],
+        };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.next_hop(), Some(NetworkId(4)));
+        assert!(!r.is_empty());
+        let o = RouteInfo {
+            class: RouteClass::Origin,
+            path: vec![],
+        };
+        assert!(o.is_empty());
+        assert_eq!(o.next_hop(), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! A vantage network's forwarding view of the Internet.
+//!
+//! Section 4 needs to know, for every remote network, *which kind of
+//! first-hop* the study network (RedIRIS) uses to exchange traffic with it:
+//! traffic whose first hop is a transit provider is the only traffic that
+//! can contribute to the offload potential. `RoutingView` wraps a single
+//! [`propagate`] run with the study network as origin and answers forward-
+//! path questions by reversing the resulting tree (reversing a valley-free
+//! path preserves valley-freeness).
+
+use crate::propagate::propagate;
+use crate::route::RouteInfo;
+use rp_topology::Topology;
+use rp_types::NetworkId;
+use serde::{Deserialize, Serialize};
+
+/// Relationship between the vantage network and the first hop on the
+/// forward path toward a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GatewayClass {
+    /// First hop is a transit customer of the vantage.
+    Customer,
+    /// First hop is a settlement-free peer (incl. IXP peers).
+    Peer,
+    /// First hop is a transit provider — this traffic is billable transit
+    /// and is what remote peering could offload.
+    Provider,
+}
+
+/// The forwarding view of one vantage network over the whole topology.
+#[derive(Debug, Clone)]
+pub struct RoutingView {
+    vantage: NetworkId,
+    /// Best route of every AS *toward* the vantage.
+    routes: Vec<Option<RouteInfo>>,
+}
+
+impl RoutingView {
+    /// Compute the view by propagating the vantage's prefix through the
+    /// topology.
+    pub fn new(topo: &Topology, vantage: NetworkId) -> Self {
+        RoutingView {
+            vantage,
+            routes: propagate(topo, vantage),
+        }
+    }
+
+    /// The vantage network.
+    #[inline]
+    pub fn vantage(&self) -> NetworkId {
+        self.vantage
+    }
+
+    /// True when `dest` has any route to/from the vantage.
+    pub fn reachable(&self, dest: NetworkId) -> bool {
+        self.routes[dest.index()].is_some()
+    }
+
+    /// The forward AS path from the vantage to `dest`, excluding the vantage
+    /// itself and including `dest` as the final element. `None` when
+    /// unreachable or when `dest` is the vantage.
+    pub fn forward_path(&self, dest: NetworkId) -> Option<Vec<NetworkId>> {
+        if dest == self.vantage {
+            return None;
+        }
+        let r = self.routes[dest.index()].as_ref()?;
+        // r.path = [h1, ..., vantage] seen from dest; forward path from the
+        // vantage is the reverse with dest appended and vantage dropped.
+        let mut fwd: Vec<NetworkId> = Vec::with_capacity(r.path.len());
+        for &hop in r.path.iter().rev().skip(1) {
+            fwd.push(hop);
+        }
+        fwd.push(dest);
+        Some(fwd)
+    }
+
+    /// First hop from the vantage toward `dest`.
+    pub fn gateway(&self, dest: NetworkId) -> Option<NetworkId> {
+        if dest == self.vantage {
+            return None;
+        }
+        let r = self.routes[dest.index()].as_ref()?;
+        Some(match r.path.len() {
+            0 => unreachable!("non-vantage route with empty path"),
+            1 => dest, // dest neighbors the vantage directly
+            k => r.path[k - 2],
+        })
+    }
+
+    /// Relationship class of the first hop toward `dest`.
+    pub fn gateway_class(&self, topo: &Topology, dest: NetworkId) -> Option<GatewayClass> {
+        let gw = self.gateway(dest)?;
+        if topo.providers(self.vantage).contains(&gw) {
+            Some(GatewayClass::Provider)
+        } else if topo.customers(self.vantage).contains(&gw) {
+            Some(GatewayClass::Customer)
+        } else {
+            debug_assert!(
+                topo.peers(self.vantage).contains(&gw),
+                "gateway not adjacent"
+            );
+            Some(GatewayClass::Peer)
+        }
+    }
+
+    /// True when traffic to/from `dest` crosses one of the vantage's transit
+    /// providers — i.e. when that traffic is offloadable in principle.
+    pub fn uses_transit(&self, topo: &Topology, dest: NetworkId) -> bool {
+        self.gateway_class(topo, dest) == Some(GatewayClass::Provider)
+    }
+
+    /// Hop count of the forward path (AS hops from vantage to `dest`).
+    pub fn path_len(&self, dest: NetworkId) -> Option<usize> {
+        self.routes[dest.index()].as_ref().map(|r| r.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::is_valley_free;
+    use rp_topology::{generate, AsType, TopologyConfig};
+
+    fn nren_view() -> (rp_topology::Topology, RoutingView) {
+        let topo = generate(&TopologyConfig::test_scale(21));
+        let nren = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, nren);
+        (topo, view)
+    }
+
+    #[test]
+    fn forward_paths_end_at_destination_and_are_valley_free() {
+        let (topo, view) = nren_view();
+        for dest in topo.ids() {
+            if dest == view.vantage() {
+                assert!(view.forward_path(dest).is_none());
+                continue;
+            }
+            let fwd = view.forward_path(dest).expect("connected world");
+            assert_eq!(*fwd.last().unwrap(), dest);
+            let mut full = vec![view.vantage()];
+            full.extend_from_slice(&fwd);
+            assert!(is_valley_free(&topo, &full), "{dest}: {full:?}");
+        }
+    }
+
+    #[test]
+    fn gateway_is_first_forward_hop_and_adjacent() {
+        let (topo, view) = nren_view();
+        for dest in topo.ids() {
+            if dest == view.vantage() {
+                continue;
+            }
+            let fwd = view.forward_path(dest).unwrap();
+            let gw = view.gateway(dest).unwrap();
+            assert_eq!(fwd[0], gw);
+            let adjacent = topo.providers(view.vantage()).contains(&gw)
+                || topo.customers(view.vantage()).contains(&gw)
+                || topo.peers(view.vantage()).contains(&gw);
+            assert!(adjacent, "gateway {gw} not adjacent to vantage");
+        }
+    }
+
+    #[test]
+    fn most_destinations_use_transit_from_a_stub_nren() {
+        // An NREN with two tier-1 providers and no peerings yet should reach
+        // nearly everything via transit.
+        let (topo, view) = nren_view();
+        let transit_count = topo
+            .ids()
+            .filter(|&d| d != view.vantage() && view.uses_transit(&topo, d))
+            .count();
+        assert!(
+            transit_count > topo.len() * 8 / 10,
+            "only {transit_count}/{} via transit",
+            topo.len()
+        );
+    }
+
+    #[test]
+    fn providers_are_gateways_for_themselves() {
+        let (topo, view) = nren_view();
+        for &p in topo.providers(view.vantage()) {
+            assert_eq!(view.gateway(p), Some(p));
+            assert_eq!(view.gateway_class(&topo, p), Some(GatewayClass::Provider));
+            assert_eq!(view.path_len(p), Some(1));
+        }
+    }
+}

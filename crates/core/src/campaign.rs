@@ -1,0 +1,666 @@
+//! The probing campaign: section 3.1's measurement method, run against the
+//! packet simulator.
+//!
+//! For each studied IXP the campaign materializes the scene as a real
+//! layer-2/3 network — fabric switches (one per site), looking-glass hosts
+//! inside the IXP subnet, member routers behind colo cross-connects or
+//! remote-peering pseudowires, and the pathology gadgets — then issues LG
+//! queries under the paper's constraints:
+//!
+//! - at most one query per minute per LG server;
+//! - a PCH query triggers 5 ping requests, a RIPE NCC query 3;
+//! - queries per interface are capped so the per-interface reply maxima
+//!   match the paper (54 via PCH, 21 via RIPE NCC);
+//! - measurements are spread across the campaign window at different times
+//!   of day and days of the week; where an IXP hosts both operators' LG
+//!   servers, the two crawls cover different halves of the window (the
+//!   independent crawls of the real operators), which is what arms the
+//!   LG-consistent filter against epoch-long floor shifts.
+
+use crate::probe::{InterfaceSamples, Sample};
+use crate::world::World;
+use rand::RngExt;
+use rp_ixp::membership::late_epoch_extra_ms;
+use rp_ixp::model::{Access, IxpInstance, MemberInterface};
+use rp_ixp::LgOperator;
+use rp_netsim::{CongestionEpisode, DelayModel, Network, NodeId, RouterBehavior};
+use rp_types::geo::WORLD_CITIES;
+use rp_types::{seed, IxpId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Result of tracerouting one listed interface from inside the IXP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracerouteResult {
+    /// Probed address.
+    pub ip: Ipv4Addr,
+    /// Ground truth: the interface attaches through a remote-peering
+    /// pseudowire.
+    pub truly_remote: bool,
+    /// Ground truth: the listed address really sits one IP hop behind the
+    /// fabric (the registry-stale gadget).
+    pub extra_hop: bool,
+    /// IP hops traceroute revealed *before* the destination (routers that
+    /// answered Time Exceeded).
+    pub intermediate_hops: usize,
+    /// Whether the destination itself answered.
+    pub reached: bool,
+}
+
+/// Per-interface minimum RTTs measured by a validation route server
+/// (`None` when the interface never answered).
+pub type RouteServerMins = Vec<(Ipv4Addr, Option<f64>)>;
+
+/// A materialized IXP scene ready for probing.
+struct BuiltIxp {
+    net: Network,
+    fabrics: Vec<NodeId>,
+    lgs: Vec<(LgOperator, NodeId)>,
+    /// Listed interfaces in registry order: (scene slot, interface).
+    listed: Vec<(u32, MemberInterface)>,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Campaign {
+    /// LG queries issued per interface from a PCH server (5 pings each).
+    pub queries_pch: u32,
+    /// LG queries issued per interface from a RIPE NCC server (3 pings
+    /// each).
+    pub queries_ripe: u32,
+    /// Minimum spacing between two queries to the same LG server.
+    pub min_query_interval: SimDuration,
+    /// Spacing between the pings of one query.
+    pub ping_spacing: SimDuration,
+    /// Extra pings per interface from the route server during validation
+    /// runs (the TorIX cross-check of section 3.3).
+    pub route_server_pings: u32,
+}
+
+impl Campaign {
+    /// The paper's parameters: enough queries that the per-interface reply
+    /// maxima are 54 (PCH: 11 × 5 with one ping typically lost to timing)
+    /// and 21 (RIPE NCC: 7 × 3).
+    pub fn default_paper() -> Self {
+        Campaign {
+            queries_pch: 11,
+            queries_ripe: 7,
+            min_query_interval: SimDuration::from_mins(1),
+            ping_spacing: SimDuration::from_secs(1),
+            route_server_pings: 8,
+        }
+    }
+
+    fn queries_for(&self, op: LgOperator) -> u32 {
+        match op {
+            LgOperator::Pch => self.queries_pch,
+            LgOperator::RipeNcc => self.queries_ripe,
+        }
+    }
+
+    /// Probe one IXP: build its network, run the campaign window, collect
+    /// per-interface samples (ordered as the registry lists them).
+    pub fn probe_ixp(&self, world: &World, ixp: IxpId) -> Vec<InterfaceSamples> {
+        self.probe_ixp_ext(world, ixp, false).0
+    }
+
+    /// Materialize one IXP's scene as a simulator network: fabric switches
+    /// (one per site), the dataset's looking-glass hosts, and a member
+    /// device behind every listed interface. `healthy_only` skips absent,
+    /// blackholing, and congested members (the traceroute survey wants
+    /// responsive targets; the probing campaign wants everything).
+    fn build_ixp_network(
+        &self,
+        world: &World,
+        ixp: IxpId,
+        domain: &str,
+        healthy_only: bool,
+    ) -> BuiltIxp {
+        let inst = world.scene.ixp(ixp);
+        assert!(
+            !inst.meta.lg.is_empty(),
+            "{} has no looking glass",
+            inst.meta.acronym
+        );
+        let duration = world.campaign_duration();
+        let seed_base = seed::derive(world.config.seed, domain, ixp.0 as u64);
+        let mut net = Network::new(seed_base);
+
+        // Fabric: one switch per site, chained with inter-site spans.
+        let fabrics: Vec<NodeId> = inst.sites.iter().map(|_| net.add_switch()).collect();
+        for w in 0..fabrics.len().saturating_sub(1) {
+            let a_city = WORLD_CITIES[inst.sites[w] as usize].location;
+            let b_city = WORLD_CITIES[inst.sites[w + 1] as usize].location;
+            let span = a_city.fiber_delay_ms(b_city).max(0.05);
+            net.connect(
+                fabrics[w],
+                fabrics[w + 1],
+                DelayModel::with_one_way_ms(span),
+            );
+        }
+
+        // Looking-glass hosts.
+        let mut lgs: Vec<(LgOperator, NodeId)> = Vec::new();
+        for (k, &op) in inst.meta.lg.iter().enumerate() {
+            let site = k.min(fabrics.len() - 1);
+            let host = net.add_host();
+            let (_, hp) = net.connect(fabrics[site], host, DelayModel::with_one_way_ms(0.05));
+            net.bind_host(host, hp, IxpInstance::lg_ip(ixp, k as u32));
+            lgs.push((op, host));
+        }
+
+        // Member devices for every listed interface.
+        let listed: Vec<(u32, MemberInterface)> = inst
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.listing.listed)
+            .filter(|(_, m)| {
+                !healthy_only
+                    || (!m.profile.absent
+                        && !m.profile.blackhole
+                        && m.profile.congested_extra_ms == 0.0)
+            })
+            .map(|(slot, m)| (slot as u32, *m))
+            .collect();
+        for &(slot, ref m) in &listed {
+            if m.profile.absent {
+                continue; // listed address, no device — ARP never resolves
+            }
+            self.build_member(world, &mut net, inst, &fabrics, ixp, slot, m, duration);
+        }
+
+        BuiltIxp {
+            net,
+            fabrics,
+            lgs,
+            listed,
+        }
+    }
+
+    /// Probe one IXP and optionally also measure every listed interface
+    /// from the IXP's route server (section 3.3's validation cross-check).
+    /// Returns `(per-interface LG samples, per-interface route-server
+    /// min-RTTs)`.
+    pub fn probe_ixp_ext(
+        &self,
+        world: &World,
+        ixp: IxpId,
+        with_route_server: bool,
+    ) -> (Vec<InterfaceSamples>, Option<RouteServerMins>) {
+        let inst = world.scene.ixp(ixp);
+        let duration = world.campaign_duration();
+        let BuiltIxp {
+            mut net,
+            fabrics,
+            lgs,
+            listed,
+        } = self.build_ixp_network(world, ixp, "campaign", false);
+        let mut rng = seed::rng(world.config.seed, "campaign-schedule", ixp.0 as u64);
+
+        // --- Optional route server (validation).
+        let route_server = if with_route_server {
+            let host = net.add_host();
+            let (_, hp) = net.connect(fabrics[0], host, DelayModel::with_one_way_ms(0.05));
+            net.bind_host(host, hp, IxpInstance::route_server_ip(ixp));
+            Some(host)
+        } else {
+            None
+        };
+
+        // --- Probe schedule. With two LG operators the crawls split the
+        // window; a single operator covers the whole window.
+        let windows: Vec<(f64, f64)> = match lgs.len() {
+            1 => vec![(0.0, 1.0)],
+            _ => vec![(0.0, 0.5), (0.5, 1.0)],
+        };
+        for ((op, host), (w_lo, w_hi)) in lgs.iter().zip(windows) {
+            let q_count = self.queries_for(*op);
+            let total_queries = (q_count as u64) * listed.len().max(1) as u64;
+            let window_ns = ((w_hi - w_lo) * duration.nanos() as f64) as u64;
+            let interval = SimDuration::from_nanos(window_ns / total_queries.max(1))
+                .max(self.min_query_interval);
+            let start =
+                SimTime::ZERO + SimDuration::from_nanos((w_lo * duration.nanos() as f64) as u64);
+            let mut q_idx: u64 = 0;
+            for q in 0..q_count {
+                for (_, m) in &listed {
+                    // Jitter the slot by up to ±25% of the interval so
+                    // probes land at varied times of day.
+                    let jitter_ns =
+                        (interval.nanos() as f64 * (rng.random::<f64>() - 0.5) * 0.5) as i64;
+                    let base = start + interval.mul(q_idx);
+                    let at = SimTime((base.nanos() as i64 + jitter_ns).max(0) as u64);
+                    for p in 0..op.pings_per_query() {
+                        net.plan_ping(*host, at + self.ping_spacing.mul(p as u64), m.ip);
+                    }
+                    q_idx += 1;
+                    let _ = q;
+                }
+            }
+        }
+
+        // --- Route-server pings (spread over the whole window).
+        if let Some(rs) = route_server {
+            let interval = SimDuration::from_nanos(
+                duration.nanos() / (self.route_server_pings as u64 * listed.len().max(1) as u64),
+            )
+            .max(self.min_query_interval);
+            let mut k: u64 = 0;
+            for p in 0..self.route_server_pings {
+                for (_, m) in &listed {
+                    net.plan_ping(rs, SimTime::ZERO + interval.mul(k), m.ip);
+                    k += 1;
+                    let _ = p;
+                }
+            }
+        }
+
+        net.run_to_completion();
+
+        // --- Collect samples per interface, per LG.
+        let inst_lg = &inst.meta.lg;
+        let mut per_iface: Vec<InterfaceSamples> = listed
+            .iter()
+            .map(|(_, m)| InterfaceSamples {
+                ip: m.ip,
+                per_lg: inst_lg.iter().map(|&op| (op, Vec::new())).collect(),
+                unanswered: inst_lg.iter().map(|&op| (op, 0)).collect(),
+            })
+            .collect();
+        let index_of: HashMap<Ipv4Addr, usize> = listed
+            .iter()
+            .enumerate()
+            .map(|(i, (_, m))| (m.ip, i))
+            .collect();
+        for (k, (_, host)) in lgs.iter().enumerate() {
+            for outcome in net.host(*host).outcomes() {
+                let Some(&i) = index_of.get(&outcome.target) else {
+                    continue;
+                };
+                match outcome.reply {
+                    Some(r) => per_iface[i].per_lg[k].1.push(Sample {
+                        sent_at: outcome.sent_at.unwrap_or(outcome.planned_at),
+                        rtt_ms: r.rtt.as_millis_f64(),
+                        ttl: r.ttl,
+                    }),
+                    None => per_iface[i].unanswered[k].1 += 1,
+                }
+            }
+        }
+
+        let rs_mins = route_server.map(|rs| {
+            let mut mins: HashMap<Ipv4Addr, f64> = HashMap::new();
+            for outcome in net.host(rs).outcomes() {
+                if let Some(r) = outcome.reply {
+                    let e = mins.entry(outcome.target).or_insert(f64::INFINITY);
+                    *e = e.min(r.rtt.as_millis_f64());
+                }
+            }
+            listed
+                .iter()
+                .map(|(_, m)| (m.ip, mins.get(&m.ip).copied()))
+                .collect()
+        });
+
+        (per_iface, rs_mins)
+    }
+
+    /// Traceroute survey: run layer-3 path discovery from the first LG
+    /// server toward every listed interface of the IXP, exactly as a
+    /// topology-inference system would. Returns, per interface, the number
+    /// of IP hops revealed and whether the destination answered —
+    /// demonstrating the paper's claim that "traceroute and BGP data do not
+    /// reveal IP addresses or ASNs of remote-peering providers": a
+    /// pseudowire spanning an ocean produces the same one-hop trace as a
+    /// colo cross-connect.
+    pub fn traceroute_survey(
+        &self,
+        world: &World,
+        ixp: IxpId,
+        max_ttl: u8,
+    ) -> Vec<TracerouteResult> {
+        let BuiltIxp {
+            mut net,
+            lgs,
+            listed,
+            ..
+        } = self.build_ixp_network(world, ixp, "traceroute", true);
+        let lg = lgs[0].1;
+        for (k, (_, m)) in listed.iter().enumerate() {
+            net.plan_traceroute(
+                lg,
+                SimTime::ZERO + SimDuration::from_mins(k as u64),
+                m.ip,
+                max_ttl,
+            );
+        }
+        net.run_to_completion();
+
+        listed
+            .iter()
+            .map(|(_, m)| {
+                let hops = net.host(lg).traceroute_hops(m.ip);
+                let revealed: Vec<Ipv4Addr> = hops.iter().filter_map(|(_, src)| *src).collect();
+                let reached = revealed.contains(&m.ip);
+                let intermediate_hops = revealed.iter().filter(|ip| **ip != m.ip).count();
+                TracerouteResult {
+                    ip: m.ip,
+                    truly_remote: m.access.is_remote(),
+                    extra_hop: m.profile.extra_hop,
+                    intermediate_hops,
+                    reached,
+                }
+            })
+            .collect()
+    }
+
+    /// Probe every studied IXP.
+    pub fn probe_all(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
+        world
+            .studied_ixps()
+            .into_iter()
+            .map(|ixp| (ixp, self.probe_ixp(world, ixp)))
+            .collect()
+    }
+
+    /// Materialize one member interface as simulator devices.
+    #[allow(clippy::too_many_arguments)]
+    fn build_member(
+        &self,
+        world: &World,
+        net: &mut Network,
+        inst: &IxpInstance,
+        fabrics: &[NodeId],
+        ixp: IxpId,
+        slot: u32,
+        m: &MemberInterface,
+        duration: SimDuration,
+    ) {
+        let site = (m.access.site() as usize).min(fabrics.len() - 1);
+        let fabric = fabrics[site];
+        let ixp_loc = WORLD_CITIES[inst.sites[site] as usize].location;
+
+        // The attachment point seen from the fabric plus the access link's
+        // delay model.
+        let (attach, access_delay) = match m.access {
+            Access::Direct { colo_delay_ms, .. } => (fabric, colo_delay_ms),
+            Access::Remote {
+                provider,
+                origin_city,
+                access_delay_ms,
+                ..
+            } => {
+                // Provider switch at the IXP, long-haul pseudowire to the
+                // provider switch near the member, then the member's tail.
+                let prov_ixp = net.add_switch();
+                let prov_far = net.add_switch();
+                net.connect(fabric, prov_ixp, DelayModel::with_one_way_ms(0.05));
+                let origin = WORLD_CITIES[origin_city as usize].location;
+                let wire_ms = world.scene.providers[provider as usize]
+                    .pseudowire_delay_ms(origin, ixp_loc)
+                    .max(0.05);
+                net.connect(prov_ixp, prov_far, DelayModel::with_one_way_ms(wire_ms));
+                (prov_far, access_delay_ms)
+            }
+        };
+
+        // Access link: the late-epoch pathology lives here; congestion is
+        // a *responder* property (see below).
+        let mut link = DelayModel::with_one_way_ms(access_delay.max(0.05));
+        let late = late_epoch_extra_ms(&world.config.scene, ixp, slot);
+        if late > 0.0 {
+            link = link.with_persistent_episode(CongestionEpisode {
+                start: SimTime::ZERO + SimDuration::from_nanos(duration.nanos() / 2),
+                end: SimTime::ZERO + duration + SimDuration::from_days(30),
+                extra_mean_ms: late,
+            });
+        }
+
+        // A congested member port polices ICMP on the control plane:
+        // replies mostly take a slow path whose *bounded* extra delay
+        // ([55%, 100%] of the profile's bound, itself at most 7.5 ms) can
+        // never push a direct member's minimum RTT over the 10 ms
+        // threshold, while the occasional fast-path reply recovers the true
+        // floor — leaving too few replies near the minimum for the
+        // RTT-consistent filter. Heavy request loss comes with the regime.
+        let slow_path = if m.profile.congested_extra_ms > 0.0 {
+            let hi_us = (m.profile.congested_extra_ms * 1_000.0) as u64;
+            Some(rp_netsim::router::SlowPath {
+                fast_prob: 0.09,
+                // The slow floor sits more than 5 ms above the fast path,
+                // so slow replies never corroborate a fast-path minimum.
+                slow_us: (5_300, hi_us.max(5_400)),
+            })
+        } else {
+            None
+        };
+        let behavior = RouterBehavior {
+            initial_ttl: m.profile.initial_ttl,
+            drop_prob: m.profile.congested_drop,
+            slow_path,
+            ttl_changes: m
+                .profile
+                .ttl_change
+                .iter()
+                .map(|(frac, ttl)| {
+                    (
+                        SimTime::ZERO
+                            + SimDuration::from_nanos((frac * duration.nanos() as f64) as u64),
+                        *ttl,
+                    )
+                })
+                .collect(),
+            blackhole_icmp: m.profile.blackhole,
+            ..RouterBehavior::default()
+        };
+
+        if m.profile.extra_hop {
+            // Registry-stale gadget: a front router proxy-ARPs for the
+            // listed address and forwards one IP hop to the inner router
+            // that actually holds it.
+            let front = net.add_router(RouterBehavior::default());
+            let (_, f_access) = net.connect(attach, front, link);
+            let front_ip = Ipv4Addr::new(172, 16, (ixp.0 % 250) as u8, (2 + slot % 250) as u8);
+            net.bind_router(front, f_access, front_ip);
+            let inner = net.add_router(behavior);
+            let (f_in, i_port) = net.connect(front, inner, DelayModel::with_one_way_ms(0.8));
+            net.bind_router(front, f_in, Ipv4Addr::new(192, 168, (slot % 250) as u8, 1));
+            net.bind_router(inner, i_port, m.ip);
+            let front_r = net.router_mut(front);
+            front_r.add_proxy_arp(f_access, m.ip);
+            front_r.add_route(m.ip, f_in);
+            front_r.set_default_route(f_access);
+            front_r.set_proxy_arp_all(f_in);
+            let inner_r = net.router_mut(inner);
+            inner_r.set_default_route(i_port);
+        } else {
+            let router = net.add_router(behavior);
+            let (_, r_port) = net.connect(attach, router, link);
+            net.bind_router(router, r_port, m.ip);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn small_world() -> World {
+        World::build(&WorldConfig::test_scale(81))
+    }
+
+    fn probe(world: &World, acronym: &str) -> (IxpId, Vec<InterfaceSamples>) {
+        let ixp = world
+            .scene
+            .ixps
+            .iter()
+            .find(|x| x.meta.acronym == acronym)
+            .unwrap()
+            .id;
+        (ixp, Campaign::default_paper().probe_ixp(world, ixp))
+    }
+
+    #[test]
+    fn reply_caps_match_paper_maxima() {
+        let world = small_world();
+        let (_, samples) = probe(&world, "AMS-IX");
+        for s in &samples {
+            for (op, replies) in &s.per_lg {
+                let cap = op.max_replies() as usize + 1;
+                assert!(
+                    replies.len() <= cap,
+                    "{}: {} replies via {:?}",
+                    s.ip,
+                    replies.len(),
+                    op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_interfaces_answer_almost_everything() {
+        let world = small_world();
+        let (ixp, samples) = probe(&world, "TorIX");
+        let inst = world.scene.ixp(ixp);
+        let healthy: Vec<&MemberInterface> = inst
+            .members
+            .iter()
+            .filter(|m| {
+                m.listing.listed
+                    && !m.profile.absent
+                    && !m.profile.blackhole
+                    && m.profile.congested_extra_ms == 0.0
+            })
+            .collect();
+        for m in healthy {
+            let s = samples.iter().find(|s| s.ip == m.ip).unwrap();
+            assert!(
+                s.reply_count() >= 20,
+                "{}: only {} replies",
+                m.ip,
+                s.reply_count()
+            );
+        }
+    }
+
+    #[test]
+    fn absent_and_blackholed_interfaces_stay_silent() {
+        let world = small_world();
+        for acr in ["AMS-IX", "LINX"] {
+            let (ixp, samples) = probe(&world, acr);
+            let inst = world.scene.ixp(ixp);
+            for m in inst
+                .members
+                .iter()
+                .filter(|m| m.listing.listed && (m.profile.absent || m.profile.blackhole))
+            {
+                let s = samples.iter().find(|s| s.ip == m.ip).unwrap();
+                assert_eq!(s.reply_count(), 0, "{} should be silent", m.ip);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_interfaces_show_geography_direct_do_not() {
+        let world = small_world();
+        let (ixp, samples) = probe(&world, "AMS-IX");
+        let inst = world.scene.ixp(ixp);
+        let ams = inst.city().location;
+        for m in inst.members.iter().filter(|m| {
+            m.listing.listed
+                && !m.profile.absent
+                && !m.profile.blackhole
+                && !m.profile.extra_hop
+                && m.profile.congested_extra_ms == 0.0
+        }) {
+            let s = samples.iter().find(|s| s.ip == m.ip).unwrap();
+            let Some(min) = s.min_rtt_ms() else { continue };
+            match m.access {
+                Access::Direct { .. } => {
+                    assert!(min < 5.0, "{}: direct min {min} ms", m.ip);
+                }
+                Access::Remote { origin_city, .. } => {
+                    let fiber = 2.0
+                        * WORLD_CITIES[origin_city as usize]
+                            .location
+                            .fiber_delay_ms(ams);
+                    assert!(
+                        min >= fiber * 0.95,
+                        "{}: remote min {min} ms below fiber floor {fiber}",
+                        m.ip
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_hop_interfaces_reply_with_decremented_ttl() {
+        let world = small_world();
+        let mut found = 0;
+        for ixp in world.studied_ixps() {
+            let samples = Campaign::default_paper().probe_ixp(&world, ixp);
+            let inst = world.scene.ixp(ixp);
+            for m in inst
+                .members
+                .iter()
+                .filter(|m| m.listing.listed && m.profile.extra_hop)
+            {
+                let s = samples.iter().find(|s| s.ip == m.ip).unwrap();
+                // The interface may also carry a TTL-change pathology, so
+                // the reply TTL is one below whichever initial TTL was in
+                // effect — never the pristine 64/255 a subnet-local reply
+                // would carry.
+                let expected: Vec<u8> = std::iter::once(m.profile.initial_ttl)
+                    .chain(m.profile.ttl_change.map(|(_, t)| t))
+                    .map(|t| t.wrapping_sub(1))
+                    .collect();
+                for (_, replies) in &s.per_lg {
+                    for r in replies {
+                        assert!(
+                            expected.contains(&r.ttl),
+                            "{}: TTL {} must betray the extra hop (expected one of {:?})",
+                            m.ip,
+                            r.ttl,
+                            expected
+                        );
+                        found += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            found > 0,
+            "no extra-hop interfaces probed — raise the rate or scale"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let world = small_world();
+        let (_, a) = probe(&world, "VIX");
+        let (_, b) = probe(&world, "VIX");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn route_server_crosscheck_produces_minimums() {
+        let world = small_world();
+        let torix = world
+            .scene
+            .ixps
+            .iter()
+            .find(|x| x.meta.acronym == "TorIX")
+            .unwrap()
+            .id;
+        let (samples, rs) = Campaign::default_paper().probe_ixp_ext(&world, torix, true);
+        let rs = rs.unwrap();
+        assert_eq!(rs.len(), samples.len());
+        let answered = rs.iter().filter(|(_, m)| m.is_some()).count();
+        assert!(answered * 10 >= rs.len() * 8, "{answered}/{}", rs.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Remoteness classification: the 10 ms threshold and the RTT ranges of
+//! figures 2 and 3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The conservative remoteness threshold (section 3.1): no directly peering
+/// network was observed with a minimum RTT above 10 ms, so interfaces at or
+/// above it are classified remote. The deliberately high value trades false
+/// negatives (nearby remote peers stay undetected) for near-zero false
+/// positives.
+pub const REMOTENESS_THRESHOLD_MS: f64 = 10.0;
+
+/// The four minimum-RTT ranges of figure 3, roughly corresponding to
+/// intra-metro, inter-city, inter-country, and inter-continental distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RttRange {
+    /// `[0 ms, 10 ms)` — consistent with direct peering.
+    Local,
+    /// `[10 ms, 20 ms)` — inter-city scale.
+    Intercity,
+    /// `[20 ms, 50 ms)` — inter-country scale.
+    Intercountry,
+    /// `[50 ms, ∞)` — inter-continental scale.
+    Intercontinental,
+}
+
+impl RttRange {
+    /// All ranges in ascending RTT order.
+    pub const ALL: [RttRange; 4] = [
+        RttRange::Local,
+        RttRange::Intercity,
+        RttRange::Intercountry,
+        RttRange::Intercontinental,
+    ];
+
+    /// Classify a minimum RTT.
+    pub fn of(min_rtt_ms: f64) -> RttRange {
+        if min_rtt_ms < REMOTENESS_THRESHOLD_MS {
+            RttRange::Local
+        } else if min_rtt_ms < 20.0 {
+            RttRange::Intercity
+        } else if min_rtt_ms < 50.0 {
+            RttRange::Intercountry
+        } else {
+            RttRange::Intercontinental
+        }
+    }
+
+    /// True for every range at or above the remoteness threshold.
+    pub fn is_remote(self) -> bool {
+        self != RttRange::Local
+    }
+}
+
+impl fmt::Display for RttRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RttRange::Local => "RTT < 10 ms",
+            RttRange::Intercity => "10 ms <= RTT < 20 ms",
+            RttRange::Intercountry => "20 ms <= RTT < 50 ms",
+            RttRange::Intercontinental => "RTT >= 50 ms",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counts of analyzed interfaces per RTT range (one bar of figure 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeCounts {
+    /// Interfaces below the remoteness threshold.
+    pub local: usize,
+    /// Interfaces in `[10 ms, 20 ms)`.
+    pub intercity: usize,
+    /// Interfaces in `[20 ms, 50 ms)`.
+    pub intercountry: usize,
+    /// Interfaces at or above 50 ms.
+    pub intercontinental: usize,
+}
+
+impl RangeCounts {
+    /// Tally a set of minimum RTTs.
+    pub fn tally(min_rtts_ms: impl Iterator<Item = f64>) -> RangeCounts {
+        let mut c = RangeCounts::default();
+        for r in min_rtts_ms {
+            c.add(RttRange::of(r));
+        }
+        c
+    }
+
+    /// Add one classified interface.
+    pub fn add(&mut self, range: RttRange) {
+        match range {
+            RttRange::Local => self.local += 1,
+            RttRange::Intercity => self.intercity += 1,
+            RttRange::Intercountry => self.intercountry += 1,
+            RttRange::Intercontinental => self.intercontinental += 1,
+        }
+    }
+
+    /// Total interfaces tallied.
+    pub fn total(&self) -> usize {
+        self.local + self.intercity + self.intercountry + self.intercontinental
+    }
+
+    /// Interfaces at or above the remoteness threshold.
+    pub fn remote(&self) -> usize {
+        self.intercity + self.intercountry + self.intercontinental
+    }
+
+    /// Counts in [`RttRange::ALL`] order.
+    pub fn as_array(&self) -> [usize; 4] {
+        [
+            self.local,
+            self.intercity,
+            self.intercountry,
+            self.intercontinental,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_paper_ranges() {
+        assert_eq!(RttRange::of(0.0), RttRange::Local);
+        assert_eq!(RttRange::of(9.999), RttRange::Local);
+        assert_eq!(RttRange::of(10.0), RttRange::Intercity);
+        assert_eq!(RttRange::of(19.999), RttRange::Intercity);
+        assert_eq!(RttRange::of(20.0), RttRange::Intercountry);
+        assert_eq!(RttRange::of(49.999), RttRange::Intercountry);
+        assert_eq!(RttRange::of(50.0), RttRange::Intercontinental);
+        assert_eq!(RttRange::of(300.0), RttRange::Intercontinental);
+    }
+
+    #[test]
+    fn remoteness_follows_threshold() {
+        assert!(!RttRange::of(5.0).is_remote());
+        assert!(RttRange::of(REMOTENESS_THRESHOLD_MS).is_remote());
+        assert!(RttRange::of(100.0).is_remote());
+    }
+
+    #[test]
+    fn tally_counts_and_totals() {
+        let c = RangeCounts::tally([1.0, 2.0, 12.0, 25.0, 60.0, 80.0].into_iter());
+        assert_eq!(c.as_array(), [2, 1, 1, 2]);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.remote(), 4);
+    }
+}

@@ -1,0 +1,420 @@
+//! The six conservative filters of section 3.1, in the paper's order:
+//! sample-size, TTL-switch, TTL-match, RTT-consistent, LG-consistent,
+//! ASN-change.
+//!
+//! The paper reports that across the 22 IXPs the filters discarded
+//! 20, 82, 20, 100, 28, and 5 interfaces respectively, leaving 4,451
+//! analyzed interfaces. [`FilterStats`] reproduces that accounting for the
+//! simulated campaign.
+
+use crate::probe::InterfaceSamples;
+use rp_ixp::registry::ListingEntry;
+use rp_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Why an interface was removed from the analyzed set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Discard {
+    /// Fewer than `min_replies_per_lg` replies from some probing LG server
+    /// (blackholing, absent device, or plain unresponsiveness).
+    SampleSize,
+    /// The reply TTL changed during the measurement period (e.g. an
+    /// operating-system change).
+    TtlSwitch,
+    /// The reply TTL is not one of the expected initial values (64 or
+    /// 255) — the reply crossed an IP hop, or the device runs an
+    /// infrequent TTL default.
+    TtlMatch,
+    /// Too few replies near the minimum RTT (persistent congestion makes
+    /// the minimum untrustworthy).
+    RttConsistent,
+    /// The two LG servers' minimum RTTs disagree beyond the tolerance.
+    LgConsistent,
+    /// The registry's ASN mapping for the address changed mid-campaign.
+    AsnChange,
+}
+
+impl Discard {
+    /// All variants in application order.
+    pub const ORDER: [Discard; 6] = [
+        Discard::SampleSize,
+        Discard::TtlSwitch,
+        Discard::TtlMatch,
+        Discard::RttConsistent,
+        Discard::LgConsistent,
+        Discard::AsnChange,
+    ];
+}
+
+/// Filter thresholds (defaults = the paper's).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Minimum replies per probing LG server (paper: 8).
+    pub min_replies_per_lg: usize,
+    /// Accepted initial-TTL values (paper: 64 and 255).
+    pub accepted_ttls: [u8; 2],
+    /// Absolute part of the consistency tolerance, ms (paper: 5).
+    pub tolerance_abs_ms: f64,
+    /// Relative part of the consistency tolerance (paper: 10%).
+    pub tolerance_rel: f64,
+    /// Minimum replies within tolerance of the minimum RTT (paper: 4).
+    pub min_consistent_replies: usize,
+    /// Disable one filter (ablation studies: what does each conservative
+    /// filter actually buy?). `None` = the paper's full pipeline.
+    pub skip: Option<Discard>,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            min_replies_per_lg: 8,
+            accepted_ttls: [64, 255],
+            tolerance_abs_ms: 5.0,
+            tolerance_rel: 0.10,
+            min_consistent_replies: 4,
+            skip: None,
+        }
+    }
+}
+
+impl FilterConfig {
+    /// The consistency bound above a minimum of `min_ms`:
+    /// `min + max{5 ms, 10% · min}`.
+    pub fn bound_above(&self, min_ms: f64) -> f64 {
+        min_ms + self.tolerance_abs_ms.max(self.tolerance_rel * min_ms)
+    }
+}
+
+/// An interface that survived all six filters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedInterface {
+    /// The analyzed interface's address.
+    pub ip: Ipv4Addr,
+    /// Minimum RTT over all accepted replies from all LG servers.
+    pub min_rtt_ms: f64,
+    /// Stable ASN mapping from the registry (`None` = unidentifiable).
+    pub asn: Option<Asn>,
+}
+
+/// Per-filter discard accounting over a set of probed interfaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Interfaces probed.
+    pub probed: usize,
+    /// Discards by the sample-size filter.
+    pub sample_size: usize,
+    /// Discards by the TTL-switch filter.
+    pub ttl_switch: usize,
+    /// Discards by the TTL-match filter.
+    pub ttl_match: usize,
+    /// Discards by the RTT-consistent filter.
+    pub rtt_consistent: usize,
+    /// Discards by the LG-consistent filter.
+    pub lg_consistent: usize,
+    /// Discards by the ASN-change filter.
+    pub asn_change: usize,
+    /// Interfaces surviving all six filters.
+    pub analyzed: usize,
+}
+
+impl FilterStats {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: &Result<AnalyzedInterface, Discard>) {
+        self.probed += 1;
+        match outcome {
+            Ok(_) => self.analyzed += 1,
+            Err(Discard::SampleSize) => self.sample_size += 1,
+            Err(Discard::TtlSwitch) => self.ttl_switch += 1,
+            Err(Discard::TtlMatch) => self.ttl_match += 1,
+            Err(Discard::RttConsistent) => self.rtt_consistent += 1,
+            Err(Discard::LgConsistent) => self.lg_consistent += 1,
+            Err(Discard::AsnChange) => self.asn_change += 1,
+        }
+    }
+
+    /// Merge another accounting into this one.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.probed += other.probed;
+        self.sample_size += other.sample_size;
+        self.ttl_switch += other.ttl_switch;
+        self.ttl_match += other.ttl_match;
+        self.rtt_consistent += other.rtt_consistent;
+        self.lg_consistent += other.lg_consistent;
+        self.asn_change += other.asn_change;
+        self.analyzed += other.analyzed;
+    }
+
+    /// Discards in the paper's application order.
+    pub fn in_order(&self) -> [usize; 6] {
+        [
+            self.sample_size,
+            self.ttl_switch,
+            self.ttl_match,
+            self.rtt_consistent,
+            self.lg_consistent,
+            self.asn_change,
+        ]
+    }
+}
+
+/// Apply the six filters to one interface's samples and registry entry.
+pub fn apply(
+    samples: &InterfaceSamples,
+    entry: &ListingEntry,
+    cfg: &FilterConfig,
+) -> Result<AnalyzedInterface, Discard> {
+    let on = |f: Discard| cfg.skip != Some(f);
+
+    // 1. Sample-size: enough replies from every probing LG server.
+    if on(Discard::SampleSize) {
+        for (_, replies) in &samples.per_lg {
+            if replies.len() < cfg.min_replies_per_lg {
+                return Err(Discard::SampleSize);
+            }
+        }
+    }
+    // With sample-size ablated an interface may carry zero replies and
+    // cannot be analyzed either way; treat it as the same discard so the
+    // ablation measures the filter's *judgement*, not arithmetic on empty
+    // sets.
+    if samples.reply_count() == 0 {
+        return Err(Discard::SampleSize);
+    }
+
+    // 2. TTL-switch: replies must all carry one TTL value.
+    let mut ttls: Vec<u8> = samples.all().map(|s| s.ttl).collect();
+    ttls.sort_unstable();
+    ttls.dedup();
+    if on(Discard::TtlSwitch) && ttls.len() > 1 {
+        return Err(Discard::TtlSwitch);
+    }
+
+    // 3. TTL-match: that value must be an expected initial TTL.
+    let ttl = ttls[0];
+    if on(Discard::TtlMatch) && !cfg.accepted_ttls.contains(&ttl) {
+        return Err(Discard::TtlMatch);
+    }
+
+    // 4. RTT-consistent: the minimum must be corroborated by nearby
+    // replies.
+    let min = samples.min_rtt_ms().expect("replies checked above");
+    if on(Discard::RttConsistent) {
+        let bound = cfg.bound_above(min);
+        let near = samples.all().filter(|s| s.rtt_ms <= bound).count();
+        if near < cfg.min_consistent_replies {
+            return Err(Discard::RttConsistent);
+        }
+    }
+
+    // 5. LG-consistent: with two LG servers, the larger of the two minimum
+    // RTTs must sit within tolerance of the smaller.
+    if on(Discard::LgConsistent) && samples.per_lg.len() >= 2 {
+        let mins: Vec<f64> = samples
+            .per_lg
+            .iter()
+            .filter(|(_, replies)| !replies.is_empty())
+            .map(|(_, replies)| {
+                replies
+                    .iter()
+                    .map(|s| s.rtt_ms)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let small = mins.iter().copied().fold(f64::INFINITY, f64::min);
+        let large = mins.iter().copied().fold(0.0, f64::max);
+        if large > cfg.bound_above(small) {
+            return Err(Discard::LgConsistent);
+        }
+    }
+
+    // 6. ASN-change: the registry mapping must be stable.
+    if on(Discard::AsnChange) && entry.asn_changed() {
+        return Err(Discard::AsnChange);
+    }
+
+    Ok(AnalyzedInterface {
+        ip: samples.ip,
+        min_rtt_ms: min,
+        asn: entry.asn_in_phase(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Sample;
+    use rp_ixp::LgOperator;
+    use rp_types::SimTime;
+
+    fn entry(ip: &str, asns: Vec<u32>) -> ListingEntry {
+        ListingEntry {
+            ip: ip.parse().unwrap(),
+            asns: asns.into_iter().map(Asn).collect(),
+        }
+    }
+
+    fn samples(per_lg: Vec<(LgOperator, Vec<(f64, u8)>)>) -> InterfaceSamples {
+        InterfaceSamples {
+            ip: "10.0.2.2".parse().unwrap(),
+            per_lg: per_lg
+                .into_iter()
+                .map(|(op, v)| {
+                    (
+                        op,
+                        v.into_iter()
+                            .map(|(rtt, ttl)| Sample {
+                                sent_at: SimTime::ZERO,
+                                rtt_ms: rtt,
+                                ttl,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            unanswered: vec![],
+        }
+    }
+
+    fn healthy(n: usize, rtt: f64, ttl: u8) -> Vec<(f64, u8)> {
+        (0..n).map(|k| (rtt + 0.02 * k as f64, ttl)).collect()
+    }
+
+    #[test]
+    fn healthy_interface_passes_with_min_rtt() {
+        let s = samples(vec![(LgOperator::Pch, healthy(12, 1.0, 255))]);
+        let a = apply(
+            &s,
+            &entry("10.0.2.2", vec![64500]),
+            &FilterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.min_rtt_ms, 1.0);
+        assert_eq!(a.asn, Some(Asn(64500)));
+    }
+
+    #[test]
+    fn sample_size_rejects_sparse_replies_from_any_lg() {
+        let s = samples(vec![
+            (LgOperator::Pch, healthy(12, 1.0, 255)),
+            (LgOperator::RipeNcc, healthy(7, 1.0, 255)), // one short
+        ]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::SampleSize)
+        );
+    }
+
+    #[test]
+    fn ttl_switch_rejects_changing_ttl() {
+        let mut replies = healthy(8, 1.0, 64);
+        replies.extend(healthy(8, 1.0, 255));
+        let s = samples(vec![(LgOperator::Pch, replies)]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::TtlSwitch)
+        );
+    }
+
+    #[test]
+    fn ttl_match_rejects_decremented_and_unusual_ttls() {
+        for ttl in [254u8, 63, 128, 32] {
+            let s = samples(vec![(LgOperator::Pch, healthy(10, 1.0, ttl))]);
+            assert_eq!(
+                apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+                Err(Discard::TtlMatch),
+                "ttl {ttl}"
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_consistent_rejects_lonely_minimum() {
+        // One low outlier, everything else far above min + max(5, 10%·min).
+        let mut replies: Vec<(f64, u8)> = vec![(1.0, 255)];
+        replies.extend((0..10).map(|k| (40.0 + k as f64, 255)));
+        let s = samples(vec![(LgOperator::Pch, replies)]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::RttConsistent)
+        );
+    }
+
+    #[test]
+    fn relative_tolerance_kicks_in_for_large_rtts() {
+        // min = 100 ms; bound = 110 ms; 4 replies inside: pass.
+        let replies: Vec<(f64, u8)> = vec![
+            (100.0, 255),
+            (104.0, 255),
+            (108.0, 255),
+            (109.9, 255),
+            (130.0, 255),
+            (131.0, 255),
+            (132.0, 255),
+            (133.0, 255),
+        ];
+        let s = samples(vec![(LgOperator::Pch, replies)]);
+        let a = apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).unwrap();
+        assert_eq!(a.min_rtt_ms, 100.0);
+    }
+
+    #[test]
+    fn lg_consistent_rejects_disagreeing_servers() {
+        let s = samples(vec![
+            (LgOperator::Pch, healthy(12, 1.0, 255)),
+            (LgOperator::RipeNcc, healthy(12, 8.0, 255)), // floor 7 ms higher
+        ]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::LgConsistent)
+        );
+        // Within 5 ms: fine.
+        let s = samples(vec![
+            (LgOperator::Pch, healthy(12, 1.0, 255)),
+            (LgOperator::RipeNcc, healthy(12, 4.0, 255)),
+        ]);
+        assert!(apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn asn_change_rejects_unstable_mappings() {
+        let s = samples(vec![(LgOperator::Pch, healthy(12, 1.0, 255))]);
+        assert_eq!(
+            apply(
+                &s,
+                &entry("10.0.2.2", vec![64500, 64501]),
+                &FilterConfig::default()
+            ),
+            Err(Discard::AsnChange)
+        );
+    }
+
+    #[test]
+    fn unidentifiable_interfaces_still_analyze() {
+        // No ASN is not a reason to discard: the interface counts toward
+        // the 4,451 analyzed even though identification later fails.
+        let s = samples(vec![(LgOperator::Pch, healthy(12, 1.0, 255))]);
+        let a = apply(&s, &entry("10.0.2.2", vec![]), &FilterConfig::default()).unwrap();
+        assert_eq!(a.asn, None);
+    }
+
+    #[test]
+    fn stats_accounting_sums() {
+        let mut stats = FilterStats::default();
+        stats.record(&Ok(AnalyzedInterface {
+            ip: "10.0.2.2".parse().unwrap(),
+            min_rtt_ms: 1.0,
+            asn: None,
+        }));
+        stats.record(&Err(Discard::TtlSwitch));
+        stats.record(&Err(Discard::SampleSize));
+        assert_eq!(stats.probed, 3);
+        assert_eq!(stats.analyzed, 1);
+        assert_eq!(stats.in_order(), [1, 1, 0, 0, 0, 0]);
+        let mut other = FilterStats::default();
+        other.record(&Err(Discard::AsnChange));
+        stats.merge(&other);
+        assert_eq!(stats.probed, 4);
+        assert_eq!(stats.in_order(), [1, 1, 0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The titular claim, quantified: *more peering without Internet
+//! flattening*.
+//!
+//! Internet flattening means fewer intermediary organizations on paths.
+//! On layer 3, adopting remote peering looks exactly like direct peering:
+//! the transit provider's AS disappears from the path, so AS-level metrics
+//! report a flatter Internet. But the layer-2 reality inserts the
+//! remote-peering provider (and the IXP operator) as organizations on the
+//! very same paths — invisible to traceroute and BGP.
+//!
+//! This module computes, for the study network's transit traffic, the
+//! traffic-weighted mean number of intermediary *organizations* per path
+//! under three lenses:
+//!
+//! 1. **before** — status-quo transit delivery (layer 3 = layer 2: transit
+//!    ASes are visible organizations);
+//! 2. **after, layer-3 view** — remote peering adopted at the k best IXPs;
+//!    paths to covered networks now enter via an IXP peer, bypassing the
+//!    transit AS — the view AS-level topologies report;
+//! 3. **after, layer-2+3 view** — the same paths, but counting the
+//!    organizations the layer-3 view cannot see: the remote-peering
+//!    provider carrying the study network's (and possibly the peer's own)
+//!    pseudowire, and the IXP operator between them.
+//!
+//! The paper's argument is the gap between (2) and (3): peering increased,
+//! the layer-3 count dropped, and the true organization count did not.
+
+use crate::offload::{OffloadStudy, PeerGroup};
+use crate::world::World;
+use rp_ixp::model::Access;
+use rp_types::{IxpId, NetworkId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Traffic-weighted mean intermediary-organization counts per path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlatteningReport {
+    /// Mean organizations per path before adopting remote peering.
+    pub before: f64,
+    /// Mean after adoption, as a layer-3 (AS-level) topology sees it.
+    pub after_layer3: f64,
+    /// Mean after adoption, counting layer-2 organizations (remote-peering
+    /// providers and IXP operators) on the same paths.
+    pub after_layer2_3: f64,
+    /// Share of the transit traffic whose path changed (was offloaded).
+    pub offloaded_share: f64,
+    /// Number of reached IXPs.
+    pub reached_ixps: usize,
+}
+
+impl FlatteningReport {
+    /// The layer-3 illusion: how much flatter the Internet *appears* on
+    /// AS-level topologies (positive = flattening).
+    pub fn apparent_flattening(&self) -> f64 {
+        self.before - self.after_layer3
+    }
+
+    /// The real change in intermediary organizations (the paper's point:
+    /// approximately zero or negative).
+    pub fn real_flattening(&self) -> f64 {
+        self.before - self.after_layer2_3
+    }
+}
+
+/// Count distinct intermediary organizations along a forward AS path
+/// (excluding the study network itself and the destination).
+fn path_orgs(world: &World, fwd: &[NetworkId], dest: NetworkId) -> usize {
+    let mut orgs: Vec<u32> = fwd
+        .iter()
+        .filter(|&&hop| hop != dest)
+        .map(|&hop| world.topology.node(hop).org.0)
+        .collect();
+    orgs.sort_unstable();
+    orgs.dedup();
+    // The destination's own organization never counts as an intermediary,
+    // even when another of its ASes appears mid-path.
+    let dest_org = world.topology.node(dest).org.0;
+    orgs.iter().filter(|&&o| o != dest_org).count()
+}
+
+/// For every network covered by peering at `ixps`, the entry member it is
+/// reached through and the customer-chain depth below that member:
+/// a multi-source BFS over customer edges from all reached members.
+fn entry_members(
+    world: &World,
+    study: &OffloadStudy,
+    ixps: &[IxpId],
+    group: PeerGroup,
+) -> HashMap<NetworkId, (NetworkId, IxpId, usize)> {
+    let mut entry: HashMap<NetworkId, (NetworkId, IxpId, usize)> = HashMap::new();
+    let mut frontier: Vec<(NetworkId, NetworkId, IxpId)> = Vec::new();
+    for &ixp in ixps {
+        for member in study.members_in_group(ixp, group) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = entry.entry(member) {
+                slot.insert((member, ixp, 0));
+                frontier.push((member, member, ixp));
+            }
+        }
+    }
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for (cur, root, ixp) in frontier {
+            for &c in world.topology.customers(cur) {
+                if let std::collections::hash_map::Entry::Vacant(slot) = entry.entry(c) {
+                    slot.insert((root, ixp, depth));
+                    next.push((c, root, ixp));
+                }
+            }
+        }
+        frontier = next;
+    }
+    entry
+}
+
+/// Organizations added on layer 2 for one offloaded path: the IXP operator
+/// plus the remote-peering provider(s) carrying the study network's and the
+/// entry member's attachments.
+fn layer2_orgs_on_path(world: &World, ixp: IxpId, member: NetworkId) -> usize {
+    // The IXP operator itself is an organization between the peers.
+    let mut extra = 1;
+    // The study network reaches this (distant) IXP remotely — that is the
+    // adoption under analysis — so its remote-peering provider is on every
+    // offloaded path.
+    extra += 1;
+    // If the entry member itself peers remotely at this IXP, its provider
+    // is on the path too.
+    let inst = world.scene.ixp(ixp);
+    if inst
+        .members
+        .iter()
+        .any(|m| m.network == member && matches!(m.access, Access::Remote { .. }))
+    {
+        extra += 1;
+    }
+    extra
+}
+
+/// Run the flattening analysis: adopt remote peering at the `k` greedily
+/// best IXPs for `group`, and compare organization counts per path.
+pub fn flattening_analysis(
+    world: &World,
+    study: &OffloadStudy,
+    group: PeerGroup,
+    k: usize,
+) -> FlatteningReport {
+    let steps = study.greedy(group, k);
+    let ixps: Vec<IxpId> = steps.iter().map(|s| s.ixp).collect();
+    let entry = entry_members(world, study, &ixps, group);
+
+    let mut weighted_before = 0.0;
+    let mut weighted_l3 = 0.0;
+    let mut weighted_l23 = 0.0;
+    let mut total_mass = 0.0;
+    let mut offloaded_mass = 0.0;
+
+    for dest in world.topology.ids() {
+        let (inb, out) = world.contributions.of(dest);
+        let mass = inb.0 + out.0;
+        if mass <= 0.0 {
+            continue;
+        }
+        total_mass += mass;
+        let Some(fwd) = world.view.forward_path(dest) else {
+            continue;
+        };
+        let orgs_before = path_orgs(world, &fwd, dest) as f64;
+        weighted_before += mass * orgs_before;
+
+        match entry.get(&dest) {
+            Some(&(member, ixp, _)) => {
+                offloaded_mass += mass;
+                // New layer-3 path: study network → member → customer chain
+                // → dest. Count organizations along it.
+                let mut new_path = vec![member];
+                // Reconstruct the chain by walking entry depths: cheaper to
+                // recount orgs from the member's side — the chain lies
+                // inside the member's cone; approximate the path as
+                // member → ... → dest with the intermediate organizations
+                // of the member chain. Depth d means d inter-AS hops below
+                // the member; intermediate ASes share the member's cone.
+                // For organization counting we walk providers upward from
+                // dest until the member is reached.
+                let mut cur = dest;
+                let mut chain = Vec::new();
+                let mut guard = 0;
+                while cur != member && guard < 64 {
+                    // Choose the provider that is itself covered with a
+                    // smaller depth (BFS parent direction).
+                    let parent = world
+                        .topology
+                        .providers(cur)
+                        .iter()
+                        .filter_map(|p| entry.get(p).map(|e| (*p, e.2)))
+                        .min_by_key(|(_, d)| *d)
+                        .map(|(p, _)| p);
+                    match parent {
+                        Some(p) => {
+                            chain.push(p);
+                            cur = p;
+                        }
+                        None => break,
+                    }
+                    guard += 1;
+                }
+                new_path.extend(chain);
+                new_path.push(dest);
+                let l3 = path_orgs(world, &new_path, dest) as f64;
+                let l23 = l3 + layer2_orgs_on_path(world, ixp, member) as f64;
+                weighted_l3 += mass * l3;
+                weighted_l23 += mass * l23;
+            }
+            None => {
+                // Not offloadable: path unchanged; transit organizations
+                // are visible on both views.
+                weighted_l3 += mass * orgs_before;
+                weighted_l23 += mass * orgs_before;
+            }
+        }
+    }
+
+    FlatteningReport {
+        before: weighted_before / total_mass.max(1e-12),
+        after_layer3: weighted_l3 / total_mass.max(1e-12),
+        after_layer2_3: weighted_l23 / total_mass.max(1e-12),
+        offloaded_share: offloaded_mass / total_mass.max(1e-12),
+        reached_ixps: ixps.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn setup() -> World {
+        World::build(&WorldConfig::test_scale(88))
+    }
+
+    #[test]
+    fn remote_peering_flattens_layer3_but_not_layer2() {
+        let world = setup();
+        let study = OffloadStudy::new(&world);
+        let report = flattening_analysis(&world, &study, PeerGroup::All, 5);
+        assert!(report.offloaded_share > 0.05, "{}", report.offloaded_share);
+        // Layer 3 looks flatter...
+        assert!(
+            report.apparent_flattening() > 0.0,
+            "layer-3 flattening expected: before {} vs after {}",
+            report.before,
+            report.after_layer3
+        );
+        // ... but the true organization count does not drop the same way:
+        // the layer-2 intermediaries eat (at least most of) the apparent
+        // gain. This is the paper's headline separation.
+        assert!(
+            report.real_flattening() < report.apparent_flattening() * 0.5,
+            "real {} vs apparent {}",
+            report.real_flattening(),
+            report.apparent_flattening()
+        );
+        assert!(report.after_layer2_3 > report.after_layer3);
+    }
+
+    #[test]
+    fn no_adoption_changes_nothing() {
+        let world = setup();
+        let study = OffloadStudy::new(&world);
+        let report = flattening_analysis(&world, &study, PeerGroup::All, 0);
+        assert_eq!(report.reached_ixps, 0);
+        assert_eq!(report.offloaded_share, 0.0);
+        assert!((report.before - report.after_layer3).abs() < 1e-9);
+        assert!((report.before - report.after_layer2_3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_ixps_flatten_layer3_more() {
+        let world = setup();
+        let study = OffloadStudy::new(&world);
+        let r2 = flattening_analysis(&world, &study, PeerGroup::All, 2);
+        let r8 = flattening_analysis(&world, &study, PeerGroup::All, 8);
+        assert!(r8.offloaded_share >= r2.offloaded_share);
+        assert!(r8.apparent_flattening() >= r2.apparent_flattening() - 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Network identification: interfaces → ASNs → networks, and the IXP-count
+//! views of figure 4.
+//!
+//! Section 3.2: of 4,451 analyzed interfaces, 3,242 map to ASNs,
+//! identifying 1,904 networks, of which 285 own at least one remote
+//! interface. Figure 4a plots how many of the studied IXPs each network
+//! peers at (its *IXP count*); figure 4b buckets the remote networks'
+//! interfaces by RTT range, per IXP count.
+
+use crate::classify::{RangeCounts, RttRange, REMOTENESS_THRESHOLD_MS};
+use crate::detect::DetectionReport;
+use rp_types::{Asn, IxpId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One identified network across the studied IXPs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkRecord {
+    /// The network's ASN (identification key).
+    pub asn: Asn,
+    /// Every analyzed, identified interface of the network:
+    /// (IXP, minimum RTT).
+    pub interfaces: Vec<(IxpId, f64)>,
+}
+
+impl NetworkRecord {
+    /// Number of distinct studied IXPs where the network peers.
+    pub fn ixp_count(&self) -> usize {
+        let mut ixps: Vec<IxpId> = self.interfaces.iter().map(|(i, _)| *i).collect();
+        ixps.sort_unstable();
+        ixps.dedup();
+        ixps.len()
+    }
+
+    /// True when any interface is classified remote.
+    pub fn is_remote(&self) -> bool {
+        self.interfaces
+            .iter()
+            .any(|(_, rtt)| *rtt >= REMOTENESS_THRESHOLD_MS)
+    }
+
+    /// How many of the network's interfaces are classified remote.
+    pub fn remote_interfaces(&self) -> usize {
+        self.interfaces
+            .iter()
+            .filter(|(_, rtt)| *rtt >= REMOTENESS_THRESHOLD_MS)
+            .count()
+    }
+}
+
+/// The identification result over a detection report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Identification {
+    /// Identified networks, ascending by ASN.
+    pub networks: Vec<NetworkRecord>,
+    /// How many analyzed interfaces mapped to an ASN.
+    pub identified_interfaces: usize,
+    /// How many analyzed interfaces failed identification.
+    pub unidentified_interfaces: usize,
+}
+
+impl Identification {
+    /// Group a detection report's analyzed interfaces by ASN.
+    pub fn from_report(report: &DetectionReport) -> Identification {
+        let mut by_asn: BTreeMap<Asn, Vec<(IxpId, f64)>> = BTreeMap::new();
+        let mut identified = 0;
+        let mut unidentified = 0;
+        for study in &report.studies {
+            for a in &study.analyzed {
+                match a.asn {
+                    Some(asn) => {
+                        identified += 1;
+                        by_asn
+                            .entry(asn)
+                            .or_default()
+                            .push((study.ixp, a.min_rtt_ms));
+                    }
+                    None => unidentified += 1,
+                }
+            }
+        }
+        Identification {
+            networks: by_asn
+                .into_iter()
+                .map(|(asn, interfaces)| NetworkRecord { asn, interfaces })
+                .collect(),
+            identified_interfaces: identified,
+            unidentified_interfaces: unidentified,
+        }
+    }
+
+    /// Networks with at least one remote interface.
+    pub fn remote_networks(&self) -> impl Iterator<Item = &NetworkRecord> {
+        self.networks.iter().filter(|n| n.is_remote())
+    }
+
+    /// Figure 4a: histogram of IXP counts. `only_remote` restricts the
+    /// population to remotely peering networks. Returns `(ixp_count,
+    /// number_of_networks)` pairs for every non-empty bucket, ascending.
+    pub fn ixp_count_histogram(&self, only_remote: bool) -> Vec<(usize, usize)> {
+        let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+        for n in &self.networks {
+            if only_remote && !n.is_remote() {
+                continue;
+            }
+            *hist.entry(n.ixp_count()).or_insert(0) += 1;
+        }
+        hist.into_iter().collect()
+    }
+
+    /// Figure 4b: for each IXP count, the RTT-range tallies over *all*
+    /// analyzed interfaces of the remotely peering networks with that
+    /// count. Returns ascending `(ixp_count, counts)` pairs.
+    pub fn remote_interface_ranges_by_ixp_count(&self) -> Vec<(usize, RangeCounts)> {
+        let mut per_count: BTreeMap<usize, RangeCounts> = BTreeMap::new();
+        for n in self.remote_networks() {
+            let entry = per_count.entry(n.ixp_count()).or_default();
+            for (_, rtt) in &n.interfaces {
+                entry.add(RttRange::of(*rtt));
+            }
+        }
+        per_count.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::DetectionStudy;
+    use crate::filters::{AnalyzedInterface, FilterStats};
+
+    fn iface(ip: &str, rtt: f64, asn: Option<u32>) -> AnalyzedInterface {
+        AnalyzedInterface {
+            ip: ip.parse().unwrap(),
+            min_rtt_ms: rtt,
+            asn: asn.map(Asn),
+        }
+    }
+
+    fn report() -> DetectionReport {
+        // Two IXPs; AS100 peers at both (one remote interface at IXP1),
+        // AS200 peers at IXP0 only, one interface unidentified.
+        DetectionReport {
+            studies: vec![
+                DetectionStudy {
+                    ixp: IxpId(0),
+                    analyzed: vec![
+                        iface("10.0.2.2", 1.0, Some(100)),
+                        iface("10.0.2.3", 2.0, Some(200)),
+                        iface("10.0.2.4", 1.5, None),
+                    ],
+                    stats: FilterStats::default(),
+                },
+                DetectionStudy {
+                    ixp: IxpId(1),
+                    analyzed: vec![
+                        iface("10.1.2.2", 35.0, Some(100)),
+                        iface("10.1.2.3", 0.8, Some(100)),
+                    ],
+                    stats: FilterStats::default(),
+                },
+            ],
+            stats: FilterStats::default(),
+        }
+    }
+
+    #[test]
+    fn groups_interfaces_by_asn() {
+        let id = Identification::from_report(&report());
+        assert_eq!(id.networks.len(), 2);
+        assert_eq!(id.identified_interfaces, 4);
+        assert_eq!(id.unidentified_interfaces, 1);
+        let as100 = &id.networks[0];
+        assert_eq!(as100.asn, Asn(100));
+        assert_eq!(as100.interfaces.len(), 3);
+        assert_eq!(as100.ixp_count(), 2);
+        assert!(as100.is_remote());
+        assert_eq!(as100.remote_interfaces(), 1);
+    }
+
+    #[test]
+    fn histograms_split_by_remoteness() {
+        let id = Identification::from_report(&report());
+        assert_eq!(id.ixp_count_histogram(false), vec![(1, 1), (2, 1)]);
+        assert_eq!(id.ixp_count_histogram(true), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn figure_4b_counts_all_interfaces_of_remote_networks() {
+        let id = Identification::from_report(&report());
+        let ranges = id.remote_interface_ranges_by_ixp_count();
+        assert_eq!(ranges.len(), 1);
+        let (count, tallies) = ranges[0];
+        assert_eq!(count, 2);
+        // AS100's three interfaces: two local, one intercountry.
+        assert_eq!(tallies.as_array(), [2, 0, 1, 0]);
+    }
+}

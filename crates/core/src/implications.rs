@@ -1,0 +1,233 @@
+//! Section 6's broader implications, made quantitative.
+//!
+//! The paper argues that hiding layer-2 intermediaries from layer-3 models
+//! damages more than topology research:
+//!
+//! - **Reliability** — "when a provider offers transit and remote peering,
+//!   buying both might not yield reliable multihoming": the redundancy a
+//!   layer-3 view promises evaporates if the remote-peering pseudowire
+//!   rides the transit provider's own infrastructure.
+//!   [`multihoming_reliability`] quantifies the gap, both in closed form
+//!   and by Monte-Carlo failure injection on a built world.
+//! - **Security / accountability** — "the invisible layer-2 intermediaries
+//!   can monitor traffic or deliver it through undesired geographies":
+//!   [`geo_exposure`] inventories, for every remote attachment in the
+//!   scene, the countries its frames actually traverse (via the provider's
+//!   nearest PoP) versus what the layer-3 view shows (member at the IXP,
+//!   full stop).
+
+use crate::world::World;
+use rand::RngExt;
+use rp_ixp::model::Access;
+use rp_types::geo::WORLD_CITIES;
+use rp_types::seed;
+use serde::{Deserialize, Serialize};
+
+/// Reliability of a dual-homed setup (transit + remote peering) for
+/// reaching peering-covered destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Per-service failure probability assumed for each organization.
+    pub p_fail: f64,
+    /// Closed-form unreachability when the remote-peering provider is
+    /// independent of both transit providers.
+    pub independent_analytic: f64,
+    /// Closed-form unreachability when the remote-peering service is
+    /// resold by one of the transit providers (shared fate).
+    pub shared_analytic: f64,
+    /// Monte-Carlo estimate, independent provider.
+    pub independent_mc: f64,
+    /// Monte-Carlo estimate, shared-fate provider.
+    pub shared_mc: f64,
+    /// Failure scenarios sampled.
+    pub trials: u32,
+}
+
+impl ReliabilityReport {
+    /// How many times likelier a total outage becomes when the "redundant"
+    /// services share fate.
+    pub fn fate_sharing_penalty(&self) -> f64 {
+        self.shared_analytic / self.independent_analytic.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Closed form + Monte-Carlo failure injection for the dual-homing setup.
+///
+/// The study network reaches a covered destination through three delivery
+/// options: transit provider A, transit provider B, and remote peering
+/// through layer-2 provider P. Each organization fails independently with
+/// probability `p_fail`. On layer 3 the three options look independent; if
+/// P's pseudowire actually rides A's infrastructure, P fails whenever A
+/// does.
+pub fn multihoming_reliability(world: &World, p_fail: f64, trials: u32) -> ReliabilityReport {
+    let p = p_fail.clamp(0.0, 1.0);
+    // Closed forms: all three services must fail.
+    let independent_analytic = p * p * p;
+    // Shared fate: P fails with A, so unreachability = P(A ∧ B).
+    let shared_analytic = p * p;
+
+    // Monte Carlo on the world: sample org failures, check the vantage's
+    // actual option set.
+    let mut rng = seed::rng(world.config.seed, "reliability", 0);
+    let mut dead_indep = 0u32;
+    let mut dead_shared = 0u32;
+    for _ in 0..trials {
+        let a_fail = rng.random::<f64>() < p;
+        let b_fail = rng.random::<f64>() < p;
+        let p_own_fail = rng.random::<f64>() < p;
+        if a_fail && b_fail && p_own_fail {
+            dead_indep += 1;
+        }
+        if a_fail && b_fail {
+            // Shared fate: the pseudowire is gone the moment A is.
+            dead_shared += 1;
+        }
+    }
+    ReliabilityReport {
+        p_fail: p,
+        independent_analytic,
+        shared_analytic,
+        independent_mc: dead_indep as f64 / trials.max(1) as f64,
+        shared_mc: dead_shared as f64 / trials.max(1) as f64,
+        trials,
+    }
+}
+
+/// One remote attachment's geographic reality vs its layer-3 appearance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GeoExposure {
+    /// The IXP's acronym (where layer 3 places the interface).
+    pub ixp: &'static str,
+    /// Country of the member's actual router.
+    pub origin_country: &'static str,
+    /// Country of the IXP.
+    pub ixp_country: &'static str,
+    /// Country of the remote-peering provider's PoP the pseudowire detours
+    /// through.
+    pub pop_country: &'static str,
+}
+
+impl GeoExposure {
+    /// True when frames transit a country that appears in neither the
+    /// member's nor the IXP's location — entirely invisible on layer 3.
+    pub fn third_country(&self) -> bool {
+        self.pop_country != self.origin_country && self.pop_country != self.ixp_country
+    }
+}
+
+/// Summary of the scene's invisible geography.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GeoExposureReport {
+    /// Remote attachments examined.
+    pub remote_attachments: usize,
+    /// Attachments whose member and IXP are in different countries (the
+    /// pseudowire crosses a border the AS-level view does not show).
+    pub cross_border: usize,
+    /// Attachments detouring through a third country via the provider PoP.
+    pub third_country: usize,
+    /// The individual third-country cases (IXP, origin, PoP).
+    pub cases: Vec<GeoExposure>,
+}
+
+/// Inventory the geographic exposure of every remote attachment.
+pub fn geo_exposure(world: &World) -> GeoExposureReport {
+    let mut remote_attachments = 0;
+    let mut cross_border = 0;
+    let mut cases = Vec::new();
+    for inst in &world.scene.ixps {
+        let ixp_country = inst.city().country;
+        for m in &inst.members {
+            let Access::Remote {
+                provider,
+                origin_city,
+                ..
+            } = m.access
+            else {
+                continue;
+            };
+            remote_attachments += 1;
+            let origin = WORLD_CITIES[origin_city as usize];
+            if origin.country != ixp_country {
+                cross_border += 1;
+            }
+            let pop_idx = world.scene.providers[provider as usize].nearest_pop(origin.location);
+            let pop = WORLD_CITIES[pop_idx as usize];
+            let exposure = GeoExposure {
+                ixp: inst.meta.acronym,
+                origin_country: origin.country,
+                ixp_country,
+                pop_country: pop.country,
+            };
+            if exposure.third_country() {
+                cases.push(exposure);
+            }
+        }
+    }
+    let third_country = cases.len();
+    GeoExposureReport {
+        remote_attachments,
+        cross_border,
+        third_country,
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn world() -> World {
+        World::build(&WorldConfig::test_scale(66))
+    }
+
+    #[test]
+    fn shared_fate_erases_the_third_nine() {
+        let w = world();
+        let r = multihoming_reliability(&w, 0.01, 200_000);
+        // Independent: 1e-6; shared: 1e-4 — two orders of magnitude.
+        assert!((r.independent_analytic - 1e-6).abs() < 1e-12);
+        assert!((r.shared_analytic - 1e-4).abs() < 1e-12);
+        assert!((r.fate_sharing_penalty() - 100.0).abs() < 1e-6);
+        // Monte Carlo agrees with the closed forms.
+        assert!(
+            (r.shared_mc - r.shared_analytic).abs() < 5e-5,
+            "{}",
+            r.shared_mc
+        );
+        assert!(r.independent_mc <= 3.0 * r.independent_analytic + 1e-5);
+    }
+
+    #[test]
+    fn degenerate_failure_probabilities() {
+        let w = world();
+        let zero = multihoming_reliability(&w, 0.0, 1_000);
+        assert_eq!(zero.independent_analytic, 0.0);
+        assert_eq!(zero.shared_mc, 0.0);
+        let one = multihoming_reliability(&w, 1.0, 1_000);
+        assert_eq!(one.shared_analytic, 1.0);
+        assert_eq!(one.independent_mc, 1.0);
+    }
+
+    #[test]
+    fn geo_exposure_finds_invisible_borders() {
+        let w = world();
+        let report = geo_exposure(&w);
+        assert!(report.remote_attachments > 10);
+        // Remote peering is mostly international in this scene.
+        assert!(report.cross_border * 2 > report.remote_attachments);
+        // Consistency: every third-country case is cross-provider-PoP.
+        for c in &report.cases {
+            assert!(c.third_country());
+            assert_ne!(c.pop_country, c.origin_country);
+        }
+        assert!(report.third_country <= report.cross_border + report.remote_attachments);
+    }
+
+    #[test]
+    fn exposure_is_deterministic() {
+        let a = geo_exposure(&world());
+        let b = geo_exposure(&world());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,493 @@
+//! The section 4 offload study: how much transit-provider traffic the study
+//! network could shift to (remote) peering, as a function of which IXPs it
+//! reaches and who agrees to peer.
+
+use crate::world::World;
+use rp_topology::cone::{cone_union, NetworkSet};
+use rp_topology::{AsType, PeeringPolicy};
+use rp_types::{Bps, IxpId, NetworkId};
+use serde::{Deserialize, Serialize};
+
+/// The four peer groups of section 4.2, from the lower bound (open-policy
+/// networks auto-peering via route servers) to the upper bound (everyone,
+/// restrictive policies included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeerGroup {
+    /// Peer group 1: all open policies.
+    Open,
+    /// Peer group 2: open plus the 10 selective networks with the largest
+    /// offload potentials.
+    OpenTop10Selective,
+    /// Peer group 3: all open and selective policies.
+    OpenSelective,
+    /// Peer group 4: all policies.
+    All,
+}
+
+impl PeerGroup {
+    /// All groups, widening.
+    pub const ALL: [PeerGroup; 4] = [
+        PeerGroup::Open,
+        PeerGroup::OpenTop10Selective,
+        PeerGroup::OpenSelective,
+        PeerGroup::All,
+    ];
+
+    /// The paper's label for the group.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeerGroup::Open => "all open policies",
+            PeerGroup::OpenTop10Selective => "all open and top 10 selective policies",
+            PeerGroup::OpenSelective => "all open and selective policies",
+            PeerGroup::All => "all policies",
+        }
+    }
+}
+
+/// Which quantity the greedy expansion maximizes at each step. Figure 9
+/// adds "the IXP with the largest remaining offload potential"; figure 10
+/// adds "the IXP that reduces [the reachable-interface count] the most".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GreedyMetric {
+    /// Maximize offloaded transit traffic (figure 9).
+    Traffic,
+    /// Maximize newly peering-reachable address space (figure 10).
+    Interfaces,
+}
+
+/// One step of the greedy IXP expansion (figures 9 and 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GreedyStep {
+    /// The IXP added at this step.
+    pub ixp: IxpId,
+    /// Remaining inbound transit traffic after realizing the potential.
+    pub remaining_in: Bps,
+    /// Remaining outbound transit traffic.
+    pub remaining_out: Bps,
+    /// Remaining address space reachable only through transit (figure 10's
+    /// metric), in interfaces.
+    pub remaining_interfaces: u64,
+}
+
+/// The offload study over a built world.
+pub struct OffloadStudy<'w> {
+    world: &'w World,
+    /// Candidate-peer eligibility after the section 4.2 exclusion rules.
+    eligible: Vec<bool>,
+    /// The top-10 selective networks by standalone offload potential
+    /// (members of peer group 2 beyond the open networks).
+    top10_selective: Vec<NetworkId>,
+}
+
+impl<'w> OffloadStudy<'w> {
+    /// Apply the exclusion rules: the study network itself, its transit
+    /// providers, every member of its home IXPs (tier-1s included, since
+    /// they sit at ESpanix), and its GÉANT-partner NRENs.
+    pub fn new(world: &'w World) -> Self {
+        let topo = &world.topology;
+        let mut eligible = vec![true; topo.len()];
+        eligible[world.vantage.index()] = false;
+        for &p in topo.providers(world.vantage) {
+            eligible[p.index()] = false;
+        }
+        for &ixp in &world.home_ixps {
+            for member in world.scene.ixp(ixp).member_network_ids() {
+                eligible[member.index()] = false;
+            }
+        }
+        for nren in topo.of_type(AsType::Nren) {
+            eligible[nren.id.index()] = false;
+        }
+
+        let mut study = OffloadStudy {
+            world,
+            eligible,
+            top10_selective: Vec::new(),
+        };
+        study.top10_selective = study.compute_top10_selective();
+        study
+    }
+
+    fn compute_top10_selective(&self) -> Vec<NetworkId> {
+        // Candidates: eligible selective-policy members of any of the 65
+        // IXPs, ranked by their standalone cone traffic.
+        let mut candidates: Vec<NetworkId> = Vec::new();
+        let mut seen = NetworkSet::new(self.world.topology.len());
+        for ixp in &self.world.scene.ixps {
+            for net in ixp.member_network_ids() {
+                if self.eligible[net.index()]
+                    && self.world.topology.node(net).policy == PeeringPolicy::Selective
+                    && seen.insert(net)
+                {
+                    candidates.push(net);
+                }
+            }
+        }
+        let mut ranked: Vec<(f64, NetworkId)> = candidates
+            .into_iter()
+            .map(|net| {
+                let cone = cone_union(&self.world.topology, &[net]);
+                let (i, o) = self.cone_traffic(&cone);
+                (i.0 + o.0, net)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        ranked.into_iter().take(10).map(|(_, net)| net).collect()
+    }
+
+    /// Does `net` belong to the peer group?
+    pub fn in_group(&self, net: NetworkId, group: PeerGroup) -> bool {
+        if !self.eligible[net.index()] {
+            return false;
+        }
+        let policy = self.world.topology.node(net).policy;
+        match group {
+            PeerGroup::Open => policy == PeeringPolicy::Open,
+            PeerGroup::OpenTop10Selective => {
+                policy == PeeringPolicy::Open || self.top10_selective.contains(&net)
+            }
+            PeerGroup::OpenSelective => {
+                matches!(policy, PeeringPolicy::Open | PeeringPolicy::Selective)
+            }
+            PeerGroup::All => true,
+        }
+    }
+
+    /// The peer-group members at one IXP.
+    pub fn members_in_group(&self, ixp: IxpId, group: PeerGroup) -> Vec<NetworkId> {
+        self.world
+            .scene
+            .ixp(ixp)
+            .member_network_ids()
+            .into_iter()
+            .filter(|&net| self.in_group(net, group))
+            .collect()
+    }
+
+    /// Inbound/outbound traffic of every contributor inside `set`.
+    fn cone_traffic(&self, set: &NetworkSet) -> (Bps, Bps) {
+        let c = &self.world.contributions;
+        let mut inb = Bps::ZERO;
+        let mut out = Bps::ZERO;
+        for net in set.iter() {
+            inb += c.inbound[net.index()];
+            out += c.outbound[net.index()];
+        }
+        (inb, out)
+    }
+
+    /// Address space of every network inside `set` that the study network
+    /// currently reaches only through transit.
+    fn cone_interfaces(&self, set: &NetworkSet) -> u64 {
+        let topo = &self.world.topology;
+        set.iter()
+            .filter(|&net| self.world.view.uses_transit(topo, net))
+            .map(|net| topo.node(net).address_space)
+            .sum()
+    }
+
+    /// The cone (peers + their customer cones) reachable by peering with
+    /// the group's members at `ixps`.
+    pub fn reachable_cone(&self, ixps: &[IxpId], group: PeerGroup) -> NetworkSet {
+        let mut roots: Vec<NetworkId> = Vec::new();
+        for &ixp in ixps {
+            roots.extend(self.members_in_group(ixp, group));
+        }
+        cone_union(&self.world.topology, &roots)
+    }
+
+    /// Offload potential of reaching `ixps` (inbound, outbound).
+    pub fn potential(&self, ixps: &[IxpId], group: PeerGroup) -> (Bps, Bps) {
+        self.cone_traffic(&self.reachable_cone(ixps, group))
+    }
+
+    /// Figure 7: the offload potential at each single IXP, descending, with
+    /// the potential under each peer group.
+    pub fn single_ixp_ranking(&self) -> Vec<(IxpId, [Bps; 4])> {
+        let mut rows: Vec<(IxpId, [Bps; 4])> = self
+            .world
+            .scene
+            .ixps
+            .iter()
+            .map(|ixp| {
+                let mut per_group = [Bps::ZERO; 4];
+                for (k, group) in PeerGroup::ALL.iter().enumerate() {
+                    let (i, o) = self.potential(&[ixp.id], *group);
+                    per_group[k] = i + o;
+                }
+                (ixp.id, per_group)
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1[3]
+                .partial_cmp(&a.1[3])
+                .expect("finite")
+                .then(a.0.cmp(&b.0))
+        });
+        rows
+    }
+
+    /// Figure 8: the offload potential remaining at `second` after fully
+    /// realizing the potential at `first`.
+    pub fn remaining_after(&self, first: IxpId, second: IxpId, group: PeerGroup) -> Bps {
+        let realized = self.reachable_cone(&[first], group);
+        let mut cone = self.reachable_cone(&[second], group);
+        cone.subtract(&realized);
+        let (i, o) = self.cone_traffic(&cone);
+        i + o
+    }
+
+    /// Figures 9 and 10: greedily expand the reached-IXP set, at each step
+    /// adding the IXP with the largest remaining traffic potential, and
+    /// report the remaining transit traffic and remaining transit-only
+    /// address space after each step.
+    pub fn greedy(&self, group: PeerGroup, max_steps: usize) -> Vec<GreedyStep> {
+        self.greedy_by(group, max_steps, GreedyMetric::Traffic)
+    }
+
+    /// Greedy expansion under an explicit step metric.
+    pub fn greedy_by(
+        &self,
+        group: PeerGroup,
+        max_steps: usize,
+        metric: GreedyMetric,
+    ) -> Vec<GreedyStep> {
+        let topo = &self.world.topology;
+        let mut covered = NetworkSet::new(topo.len());
+        let mut remaining_in = self.world.contributions.total_inbound();
+        let mut remaining_out = self.world.contributions.total_outbound();
+        let mut remaining_if = self.total_transit_interfaces();
+        let mut unchosen: Vec<IxpId> = self.world.scene.ixps.iter().map(|x| x.id).collect();
+        // Per-IXP cones are fixed per group; compute once.
+        let cones: Vec<NetworkSet> = self
+            .world
+            .scene
+            .ixps
+            .iter()
+            .map(|x| self.reachable_cone(&[x.id], group))
+            .collect();
+
+        let mut steps = Vec::new();
+        for _ in 0..max_steps.min(unchosen.len()) {
+            let mut best: Option<(f64, usize)> = None;
+            for (pos, &ixp) in unchosen.iter().enumerate() {
+                let mut gain_set = cones[ixp.index()].clone();
+                gain_set.subtract(&covered);
+                let gain = match metric {
+                    GreedyMetric::Traffic => {
+                        let (i, o) = self.cone_traffic(&gain_set);
+                        (i + o).0
+                    }
+                    GreedyMetric::Interfaces => self.cone_interfaces(&gain_set) as f64,
+                };
+                if best.map(|(g, _)| gain > g).unwrap_or(true) {
+                    best = Some((gain, pos));
+                }
+            }
+            let Some((_, pos)) = best else { break };
+            let ixp = unchosen.remove(pos);
+            let mut gain_set = cones[ixp.index()].clone();
+            gain_set.subtract(&covered);
+            let (gi, go) = self.cone_traffic(&gain_set);
+            let gif = self.cone_interfaces(&gain_set);
+            covered.union_with(&cones[ixp.index()]);
+            remaining_in = remaining_in - gi;
+            remaining_out = remaining_out - go;
+            remaining_if = remaining_if.saturating_sub(gif);
+            steps.push(GreedyStep {
+                ixp,
+                remaining_in,
+                remaining_out,
+                remaining_interfaces: remaining_if,
+            });
+        }
+        steps
+    }
+
+    /// Figure 10's starting point: total address space reachable only
+    /// through the transit hierarchy before any IXP is reached.
+    pub fn total_transit_interfaces(&self) -> u64 {
+        let topo = &self.world.topology;
+        topo.ids()
+            .filter(|&net| self.world.view.uses_transit(topo, net))
+            .map(|net| topo.node(net).address_space)
+            .sum()
+    }
+
+    /// The number of distinct candidate peers across all IXPs (the paper's
+    /// "2,192 networks" for peer group 4 at 65 IXPs).
+    pub fn candidate_count(&self, group: PeerGroup) -> usize {
+        let mut set = NetworkSet::new(self.world.topology.len());
+        for ixp in &self.world.scene.ixps {
+            for net in self.members_in_group(ixp.id, group) {
+                set.insert(net);
+            }
+        }
+        set.count()
+    }
+
+    /// Networks whose traffic is offloadable at 65 IXPs under the group —
+    /// candidates plus their cones, intersected with contributors (the
+    /// paper's "12,238 networks").
+    pub fn offloadable_network_count(&self, group: PeerGroup) -> usize {
+        let all: Vec<IxpId> = self.world.scene.ixps.iter().map(|x| x.id).collect();
+        let cone = self.reachable_cone(&all, group);
+        let c = &self.world.contributions;
+        cone.iter()
+            .filter(|net| c.inbound[net.index()].0 > 0.0 || c.outbound[net.index()].0 > 0.0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn study_world() -> World {
+        World::build(&WorldConfig::test_scale(95))
+    }
+
+    #[test]
+    fn exclusions_bind() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        assert!(!study.in_group(world.vantage, PeerGroup::All));
+        for &p in world.topology.providers(world.vantage) {
+            assert!(!study.in_group(p, PeerGroup::All), "transit provider {p}");
+        }
+        for t1 in world.topology.of_type(AsType::Tier1) {
+            assert!(
+                !study.in_group(t1.id, PeerGroup::All),
+                "tier-1 {} at ESpanix",
+                t1.asn
+            );
+        }
+        for nren in world.topology.of_type(AsType::Nren) {
+            assert!(!study.in_group(nren.id, PeerGroup::All), "GÉANT partner");
+        }
+    }
+
+    #[test]
+    fn peer_groups_nest() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let all: Vec<IxpId> = world.scene.ixps.iter().map(|x| x.id).collect();
+        let mut last = Bps::ZERO;
+        for group in PeerGroup::ALL {
+            let (i, o) = study.potential(&all, group);
+            let total = i + o;
+            assert!(
+                total.0 >= last.0 - 1e-6,
+                "{group:?} shrank the potential: {total} < {last}"
+            );
+            last = total;
+        }
+    }
+
+    #[test]
+    fn offload_is_substantial_and_bounded() {
+        // At test scale the 65 IXPs' memberships nearly saturate the tiny
+        // topology, so the offloadable fraction approaches 1; the
+        // paper-shape fraction (~25–33%) is asserted by the paper-scale
+        // integration test. Here: substantial, and never exceeding the
+        // transit totals.
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let all: Vec<IxpId> = world.scene.ixps.iter().map(|x| x.id).collect();
+        let (inb, out) = study.potential(&all, PeerGroup::All);
+        assert!(inb.0 <= world.contributions.total_inbound().0 + 1e-6);
+        assert!(out.0 <= world.contributions.total_outbound().0 + 1e-6);
+        let frac_in = inb.fraction_of(world.contributions.total_inbound());
+        assert!(frac_in > 0.10, "inbound offload {frac_in}");
+    }
+
+    #[test]
+    fn greedy_has_diminishing_returns() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let steps = study.greedy(PeerGroup::All, 20);
+        assert!(steps.len() >= 10);
+        let total = world.contributions.total_inbound() + world.contributions.total_outbound();
+        let mut last_remaining = total;
+        let mut last_gain = f64::INFINITY;
+        for s in &steps {
+            let remaining = s.remaining_in + s.remaining_out;
+            let gain = last_remaining.0 - remaining.0;
+            assert!(gain >= -1e-6, "remaining must not grow");
+            assert!(
+                gain <= last_gain + 1e-6,
+                "greedy gains must not increase: {gain} after {last_gain}"
+            );
+            last_gain = gain;
+            last_remaining = remaining;
+        }
+        // Early IXPs capture most of the achievable potential.
+        let after5 = steps[4].remaining_in + steps[4].remaining_out;
+        let at_end = steps.last().unwrap().remaining_in + steps.last().unwrap().remaining_out;
+        let realized5 = total.0 - after5.0;
+        let realized_all = total.0 - at_end.0;
+        assert!(
+            realized5 >= 0.75 * realized_all,
+            "5 IXPs realize {realized5:.2e} of {realized_all:.2e}"
+        );
+    }
+
+    #[test]
+    fn second_ixp_overlap_shrinks_potential() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let ranking = study.single_ixp_ranking();
+        let (first, _) = ranking[0];
+        let (second, full) = ranking[1];
+        let remaining = study.remaining_after(first, second, PeerGroup::All);
+        assert!(
+            remaining.0 <= full[3].0 + 1e-6,
+            "remaining {remaining} exceeds full {}",
+            full[3]
+        );
+    }
+
+    #[test]
+    fn interfaces_metric_starts_near_total_address_space() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let transit_if = study.total_transit_interfaces();
+        let total = world.topology.total_address_space();
+        let frac = transit_if as f64 / total as f64;
+        // At test scale the address space is hyper-concentrated in a few
+        // giants, and whichever of them end up as home-IXP peers leave the
+        // transit links; at paper scale the fraction is ~0.85 (checked by
+        // the end-to-end integration test).
+        assert!(
+            frac > 0.15 && frac <= 1.0,
+            "transit-reachable fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn candidate_counts_are_reasonable() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        let open = study.candidate_count(PeerGroup::Open);
+        let all = study.candidate_count(PeerGroup::All);
+        assert!(open > 0 && open < all, "open {open} vs all {all}");
+        let offloadable = study.offloadable_network_count(PeerGroup::All);
+        assert!(
+            offloadable > all,
+            "cones add networks: {offloadable} vs {all}"
+        );
+    }
+
+    #[test]
+    fn top10_selective_group_sits_between_bounds() {
+        let world = study_world();
+        let study = OffloadStudy::new(&world);
+        assert!(study.top10_selective.len() <= 10);
+        for &net in &study.top10_selective {
+            assert_eq!(world.topology.node(net).policy, PeeringPolicy::Selective);
+            assert!(study.in_group(net, PeerGroup::OpenTop10Selective));
+            assert!(!study.in_group(net, PeerGroup::Open));
+        }
+    }
+}

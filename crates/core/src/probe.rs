@@ -1,0 +1,88 @@
+//! Probe sample containers — the raw material the filters consume.
+
+use rp_ixp::LgOperator;
+use rp_types::SimTime;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One accepted ping reply as seen by an LG server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the echo request left the LG server.
+    pub sent_at: SimTime,
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+    /// TTL field of the reply as observed at the LG server.
+    pub ttl: u8,
+}
+
+/// All probe results for one listed interface at one IXP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceSamples {
+    /// The probed address.
+    pub ip: Ipv4Addr,
+    /// Replies grouped by the LG server that collected them, in the order
+    /// the scene lists the IXP's LG operators.
+    pub per_lg: Vec<(LgOperator, Vec<Sample>)>,
+    /// Probes sent but never answered (per LG, same order).
+    pub unanswered: Vec<(LgOperator, u32)>,
+}
+
+impl InterfaceSamples {
+    /// Total replies across LG servers.
+    pub fn reply_count(&self) -> usize {
+        self.per_lg.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Iterate over all replies regardless of LG server.
+    pub fn all(&self) -> impl Iterator<Item = &Sample> {
+        self.per_lg.iter().flat_map(|(_, s)| s.iter())
+    }
+
+    /// Minimum RTT across all replies, `None` when there are none.
+    pub fn min_rtt_ms(&self) -> Option<f64> {
+        self.all().map(|s| s.rtt_ms).fold(None, |acc, r| match acc {
+            None => Some(r),
+            Some(a) => Some(a.min(r)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rtt: f64, ttl: u8) -> Sample {
+        Sample {
+            sent_at: SimTime::ZERO,
+            rtt_ms: rtt,
+            ttl,
+        }
+    }
+
+    #[test]
+    fn aggregation_over_lgs() {
+        let s = InterfaceSamples {
+            ip: "10.0.2.2".parse().unwrap(),
+            per_lg: vec![
+                (LgOperator::Pch, vec![sample(1.5, 255), sample(0.9, 255)]),
+                (LgOperator::RipeNcc, vec![sample(1.2, 255)]),
+            ],
+            unanswered: vec![(LgOperator::Pch, 3), (LgOperator::RipeNcc, 0)],
+        };
+        assert_eq!(s.reply_count(), 3);
+        assert_eq!(s.min_rtt_ms(), Some(0.9));
+        assert_eq!(s.all().count(), 3);
+    }
+
+    #[test]
+    fn empty_samples_have_no_min() {
+        let s = InterfaceSamples {
+            ip: "10.0.2.3".parse().unwrap(),
+            per_lg: vec![(LgOperator::Pch, vec![])],
+            unanswered: vec![(LgOperator::Pch, 40)],
+        };
+        assert_eq!(s.min_rtt_ms(), None);
+        assert_eq!(s.reply_count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Text rendering helpers for the `repro` binary: fixed-width tables and
+//! CDF extraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row. Short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (k, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let _ = write!(out, "{cell:>w$}", w = w);
+                if k + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// A cumulative distribution extracted from raw samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted sample values.
+    pub sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (NaNs excluded).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|s| s.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|s| *s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0, 1]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Evaluate the CDF at logarithmically spaced points between the data's
+    /// min and max — the sampling figure 2's log-x plot uses.
+    pub fn log_points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0].max(1e-3).ln();
+        let hi = self.sorted[self.sorted.len() - 1].max(1e-3).ln();
+        (0..n)
+            .map(|k| {
+                let x = (lo + (hi - lo) * k as f64 / (n.max(2) - 1) as f64).exp();
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// Format a bps value the way the paper's figures label axes (Gbps with two
+/// decimals).
+pub fn gbps(b: rp_types::Bps) -> String {
+    format!("{:.3}", b.as_gbps())
+}
+
+/// Format a percentage.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["IXP", "analyzed"]);
+        t.row(&["AMS-IX".into(), "665".into()]);
+        t.row(&["TIE".into(), "54".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("IXP"));
+        assert!(lines[2].ends_with("665"));
+        // Columns align: all lines equal length.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["1".into()]);
+        assert_eq!(t.render().lines().count(), 3);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, f64::NAN, 4.0]);
+        assert_eq!(cdf.sorted, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.5);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn cdf_log_points_are_monotone() {
+        let cdf = Cdf::new((1..=1000).map(|k| k as f64 / 10.0).collect());
+        let pts = cdf.log_points(30);
+        assert_eq!(pts.len(), 30);
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::new(vec![]);
+        assert_eq!(cdf.at(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.log_points(5).is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gbps(rp_types::Bps::from_gbps(1.6)), "1.600");
+        assert_eq!(pct(0.273), "27.3%");
+    }
+}

@@ -1,0 +1,333 @@
+//! Scenario construction: the simulated Internet plus the RedIRIS-like
+//! study network.
+//!
+//! Section 4.1 describes the study network precisely: RedIRIS, the Spanish
+//! NREN, "interconnects with GÉANT, buys transit from two tier-1 providers,
+//! peers with major CDNs, and has memberships in two IXPs: CATNIX in
+//! Barcelona and ESpanix in Madrid." `World::build` reproduces that
+//! arrangement inside the generated topology:
+//!
+//! - the study network is an NREN pinned to Madrid;
+//! - the topology generator already gives every NREN two tier-1 transit
+//!   providers;
+//! - GÉANT is modeled as settlement-free peerings with every other NREN;
+//! - a handful of major CDNs peer with the study network (their traffic
+//!   therefore never appears on the transit links — which is why the
+//!   paper's top *offloadable* contributors are content networks that are
+//!   not yet peered);
+//! - the study network joins ESpanix and CATNIX and peers with their
+//!   open-policy members via the route servers; the tier-1s are wired in as
+//!   ESpanix members so that the paper's exclusion rule ("we exclude all
+//!   the other tier-1 networks because they have memberships in ESpanix")
+//!   binds.
+
+use rp_bgp::RoutingView;
+use rp_ixp::model::{Access, ListingInfo, MemberInterface, ResponderProfile};
+use rp_ixp::registry::Registry;
+use rp_ixp::{build_scene, euro_ix_65, IxpScene, SceneConfig};
+use rp_topology::{generate, AsType, PeeringPolicy, Topology, TopologyConfig};
+use rp_traffic::{contributions, Contributions, TrafficConfig};
+use rp_types::geo::WORLD_CITIES;
+use rp_types::{IxpId, NetworkId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; sub-seeds for topology, scene, and traffic derive from
+    /// it unless overridden below.
+    pub seed: u64,
+    /// Topology generation parameters.
+    pub topology: TopologyConfig,
+    /// IXP scene parameters.
+    pub scene: SceneConfig,
+    /// Traffic model parameters.
+    pub traffic: TrafficConfig,
+    /// Length of the probing campaign (the paper measured October 2013 –
+    /// January 2014, about four months).
+    pub campaign_days: u64,
+    /// How many CDNs the study network already peers with.
+    pub cdn_peerings: usize,
+    /// Where the study network lives. "Madrid" reproduces RedIRIS; other
+    /// cities build counterfactual study networks (e.g. "Nairobi" for the
+    /// section 5.2 African-market analysis).
+    pub vantage_city: String,
+}
+
+impl WorldConfig {
+    /// Paper-scale world: ~31k ASes, 65 IXPs at published member counts,
+    /// 2.6 B interfaces, 4-month campaign.
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            topology: TopologyConfig::paper_scale(seed ^ 0x7090),
+            scene: SceneConfig::paper_scale(seed ^ 0x5CEE),
+            traffic: TrafficConfig {
+                seed: seed ^ 0x7247,
+                ..TrafficConfig::default()
+            },
+            campaign_days: 120,
+            cdn_peerings: 8,
+            vantage_city: "Madrid".to_string(),
+        }
+    }
+
+    /// Reduced world for tests: a few hundred ASes, ~35% membership scale,
+    /// a 40-day campaign. Same structure, seconds to build and probe.
+    pub fn test_scale(seed: u64) -> Self {
+        WorldConfig {
+            topology: TopologyConfig::test_scale(seed ^ 0x7090),
+            scene: SceneConfig::test_scale(seed ^ 0x5CEE),
+            campaign_days: 40,
+            ..WorldConfig::paper_scale(seed)
+        }
+    }
+}
+
+/// The assembled scenario.
+pub struct World {
+    /// The configuration the world was built from.
+    pub config: WorldConfig,
+    /// The AS-level Internet.
+    pub topology: Topology,
+    /// IXPs, memberships, attachments, pathologies (ground truth).
+    pub scene: IxpScene,
+    /// What the measurement campaign is allowed to know.
+    pub registry: Registry,
+    /// The RedIRIS-like study network.
+    pub vantage: NetworkId,
+    /// The study network's home IXPs (ESpanix, CATNIX).
+    pub home_ixps: Vec<IxpId>,
+    /// CDNs the study network peers with directly.
+    pub cdn_peers: Vec<NetworkId>,
+    /// The study network's forwarding view.
+    pub view: RoutingView,
+    /// Average per-network transit-traffic contributions.
+    pub contributions: Contributions,
+}
+
+impl World {
+    /// Build the scenario deterministically from its config.
+    pub fn build(cfg: &WorldConfig) -> World {
+        let mut topology = generate(&cfg.topology);
+
+        // The study network: an NREN pinned to the configured city
+        // (Madrid for the RedIRIS reproduction).
+        let vantage = topology
+            .of_type(AsType::Nren)
+            .next()
+            .expect("config generates at least one NREN")
+            .id;
+        let home = city_index(&cfg.vantage_city);
+        topology.set_home_city(vantage, home);
+
+        // IXPs and memberships over the (relocated) topology.
+        let metas = euro_ix_65();
+        let mut scene = build_scene(&topology, &metas, &cfg.scene);
+
+        let ixp_by_acronym = |scene: &IxpScene, acr: &str| -> IxpId {
+            scene
+                .ixps
+                .iter()
+                .find(|x| x.meta.acronym == acr)
+                .unwrap_or_else(|| panic!("dataset lacks {acr}"))
+                .id
+        };
+        let espanix = ixp_by_acronym(&scene, "ESpanix");
+        let catnix = ixp_by_acronym(&scene, "CATNIX");
+        let home_ixps = vec![espanix, catnix];
+
+        // Wire the study network and the tier-1s into the home IXPs.
+        let tier1s: Vec<NetworkId> = topology.of_type(AsType::Tier1).map(|a| a.id).collect();
+        for &ixp in &home_ixps {
+            add_direct_member(&mut scene, ixp, vantage);
+        }
+        for &t1 in &tier1s {
+            add_direct_member(&mut scene, espanix, t1);
+        }
+
+        // GÉANT: settlement-free peering with every other NREN.
+        let nrens: Vec<NetworkId> = topology
+            .of_type(AsType::Nren)
+            .map(|a| a.id)
+            .filter(|&id| id != vantage)
+            .collect();
+        for nren in nrens {
+            topology.add_peering(vantage, nren);
+        }
+
+        // Major-CDN peerings.
+        let cdn_peers: Vec<NetworkId> = topology
+            .of_type(AsType::Cdn)
+            .map(|a| a.id)
+            .take(cfg.cdn_peerings)
+            .collect();
+        for &cdn in &cdn_peers {
+            topology.add_peering(vantage, cdn);
+        }
+
+        // Route-server peerings with open-policy co-members at the home
+        // IXPs (add_peering skips the vantage's own transit providers and
+        // anything already connected).
+        for &ixp in &home_ixps {
+            for member in scene.ixp(ixp).member_network_ids() {
+                if member != vantage && topology.node(member).policy == PeeringPolicy::Open {
+                    topology.add_peering(vantage, member);
+                }
+            }
+        }
+
+        let registry = Registry::from_scene(&scene, &topology);
+        let view = RoutingView::new(&topology, vantage);
+        let contributions = contributions(&topology, &view, &cfg.traffic);
+
+        World {
+            config: cfg.clone(),
+            topology,
+            scene,
+            registry,
+            vantage,
+            home_ixps,
+            cdn_peers,
+            view,
+            contributions,
+        }
+    }
+
+    /// Length of the probing campaign.
+    pub fn campaign_duration(&self) -> SimDuration {
+        SimDuration::from_days(self.config.campaign_days)
+    }
+
+    /// Ids of the IXPs with looking-glass servers (the section 3 study).
+    pub fn studied_ixps(&self) -> Vec<IxpId> {
+        self.scene.studied().map(|x| x.id).collect()
+    }
+}
+
+fn city_index(name: &str) -> u16 {
+    WORLD_CITIES
+        .iter()
+        .position(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown city {name}")) as u16
+}
+
+/// Insert `network` as a direct, healthy, unlisted member of `ixp` (used to
+/// wire the study network and the tier-1s into their real memberships).
+fn add_direct_member(scene: &mut IxpScene, ixp: IxpId, network: NetworkId) {
+    let inst = &mut scene.ixps[ixp.index()];
+    if inst.members.iter().any(|m| m.network == network) {
+        return;
+    }
+    let slot = inst.members.len() as u32;
+    inst.members.push(MemberInterface {
+        network,
+        ip: rp_ixp::model::IxpInstance::ip_for_slot(ixp, slot),
+        access: Access::Direct {
+            colo_delay_ms: 0.3,
+            site: 0,
+        },
+        profile: ResponderProfile::default(),
+        listing: ListingInfo {
+            listed: false,
+            identifiable: true,
+            asn_change: false,
+        },
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_bgp::GatewayClass;
+
+    fn world() -> World {
+        World::build(&WorldConfig::test_scale(71))
+    }
+
+    #[test]
+    fn vantage_is_a_madrid_nren_with_two_tier1_providers() {
+        let w = world();
+        let node = w.topology.node(w.vantage);
+        assert_eq!(node.kind, AsType::Nren);
+        assert_eq!(w.topology.home_city(w.vantage).name, "Madrid");
+        let provs = w.topology.providers(w.vantage);
+        assert_eq!(provs.len(), 2);
+        for p in provs {
+            assert_eq!(w.topology.node(*p).kind, AsType::Tier1);
+        }
+    }
+
+    #[test]
+    fn vantage_belongs_to_both_home_ixps_and_tier1s_to_espanix() {
+        let w = world();
+        for &ixp in &w.home_ixps {
+            assert!(w.scene.ixp(ixp).member_network_ids().contains(&w.vantage));
+        }
+        let espanix_members = w.scene.ixp(w.home_ixps[0]).member_network_ids();
+        for t1 in w.topology.of_type(AsType::Tier1) {
+            assert!(
+                espanix_members.contains(&t1.id),
+                "{} not at ESpanix",
+                t1.asn
+            );
+        }
+    }
+
+    #[test]
+    fn geant_and_cdn_traffic_leaves_the_transit_links() {
+        let w = world();
+        for nren in w.topology.of_type(AsType::Nren) {
+            if nren.id != w.vantage {
+                assert_eq!(
+                    w.view.gateway_class(&w.topology, nren.id),
+                    Some(GatewayClass::Peer),
+                    "NREN {} should be reached via GÉANT peering",
+                    nren.asn
+                );
+                let (inb, out) = w.contributions.of(nren.id);
+                assert_eq!(inb.0, 0.0);
+                assert_eq!(out.0, 0.0);
+            }
+        }
+        for &cdn in &w.cdn_peers {
+            assert_eq!(
+                w.view.gateway_class(&w.topology, cdn),
+                Some(GatewayClass::Peer)
+            );
+        }
+    }
+
+    #[test]
+    fn most_networks_still_contribute_transit_traffic() {
+        let w = world();
+        let frac = w.contributions.contributors() as f64 / w.topology.len() as f64;
+        assert!(frac > 0.8, "contributor fraction {frac}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = World::build(&WorldConfig::test_scale(72));
+        let b = World::build(&WorldConfig::test_scale(72));
+        assert_eq!(a.vantage, b.vantage);
+        assert_eq!(a.contributions.inbound, b.contributions.inbound);
+        assert_eq!(
+            a.scene
+                .ixps
+                .iter()
+                .map(|x| x.members.len())
+                .collect::<Vec<_>>(),
+            b.scene
+                .ixps
+                .iter()
+                .map(|x| x.members.len())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn studied_ixps_are_the_22() {
+        let w = world();
+        assert_eq!(w.studied_ixps().len(), 22);
+    }
+}

@@ -1,0 +1,196 @@
+//! Cost parameters and the total-cost functions (eqs. 1–10, 12).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of the section 5 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Normalized transit price (per unit of traffic).
+    pub p: f64,
+    /// Per-unit traffic-dependent cost of direct peering.
+    pub u: f64,
+    /// Per-unit traffic-dependent cost of remote peering.
+    pub v: f64,
+    /// Per-IXP traffic-independent cost of direct peering (membership fees,
+    /// equipment, infrastructure extension to the IXP location).
+    pub g: f64,
+    /// Per-IXP traffic-independent cost of remote peering (lower than `g`:
+    /// the provider aggregates customers and buys IXP resources in bulk).
+    pub h: f64,
+    /// Decay rate of the transit fraction per reached IXP (eq. 3). Low `b`
+    /// = globally spread traffic (a single IXP offloads little); high `b` =
+    /// concentrated traffic.
+    pub b: f64,
+}
+
+/// Violation of the model's structural assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParams(pub String);
+
+impl fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cost parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+impl CostParams {
+    /// Validate the paper's invariants: positivity, `h < g` (ineq. 7) and
+    /// `u < v < p` (ineq. 8).
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        let all = [self.p, self.u, self.v, self.g, self.h, self.b];
+        if all.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(InvalidParams(
+                "all parameters must be finite and non-negative".into(),
+            ));
+        }
+        if self.h >= self.g {
+            return Err(InvalidParams(format!(
+                "h ({}) must be below g ({}): remote peering has the lower per-IXP cost",
+                self.h, self.g
+            )));
+        }
+        if !(self.u < self.v && self.v < self.p) {
+            return Err(InvalidParams(format!(
+                "need u < v < p, got u={} v={} p={}",
+                self.u, self.v, self.p
+            )));
+        }
+        if self.b <= 0.0 {
+            return Err(InvalidParams("b must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// A plausible mid-market parameterization used by examples and
+    /// benches: transit at the normalized price 1, direct peering cheap per
+    /// bit but expensive per IXP, remote peering in between.
+    pub fn example() -> Self {
+        CostParams {
+            p: 1.0,
+            u: 0.2,
+            v: 0.45,
+            g: 0.12,
+            h: 0.035,
+            b: 0.55,
+        }
+    }
+
+    /// Remaining transit traffic fraction after peering (directly or
+    /// remotely) at `k = n + m` IXPs (eq. 3).
+    pub fn transit_fraction(&self, k: f64) -> f64 {
+        (-self.b * k).exp()
+    }
+
+    /// Total cost under transit + direct peering only (eq. 10):
+    /// `C = (p − u)·e^(−b·n) + u + g·n`.
+    pub fn cost_direct_only(&self, n: f64) -> f64 {
+        (self.p - self.u) * (-self.b * n).exp() + self.u + self.g * n
+    }
+
+    /// Total cost with direct peering fixed at `n` IXPs plus remote peering
+    /// at `m` extra IXPs (eq. 12):
+    /// `C = (p − v)·e^(−b·(n+m)) + (v − u)·e^(−b·n) + g·n + u + h·m`.
+    pub fn cost_with_remote(&self, n: f64, m: f64) -> f64 {
+        (self.p - self.v) * (-self.b * (n + m)).exp()
+            + (self.v - self.u) * (-self.b * n).exp()
+            + self.g * n
+            + self.u
+            + self.h * m
+    }
+
+    /// The general three-way cost (eq. 9) for explicit traffic fractions:
+    /// `C = p·t + g·n + u·d + h·m + v·r` with `t = e^(−b·(n+m))`,
+    /// `d + r = 1 − t` split as given.
+    ///
+    /// `d` is the fraction delivered via direct peering; the remote fraction
+    /// is whatever else is not transit. Panics in debug builds if `d`
+    /// exceeds the non-transit fraction.
+    pub fn cost_general(&self, n: f64, m: f64, d: f64) -> f64 {
+        let t = self.transit_fraction(n + m);
+        let r = 1.0 - t - d;
+        debug_assert!(
+            r >= -1e-12,
+            "d={d} exceeds non-transit fraction {}",
+            1.0 - t
+        );
+        self.p * t + self.g * n + self.u * d + self.h * m + self.v * r.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_params_are_valid() {
+        CostParams::example().validate().unwrap();
+    }
+
+    #[test]
+    fn invariants_are_enforced() {
+        let mut p = CostParams::example();
+        p.h = p.g; // violates ineq. 7
+        assert!(p.validate().is_err());
+
+        let mut p = CostParams::example();
+        p.v = p.p; // violates ineq. 8
+        assert!(p.validate().is_err());
+
+        let mut p = CostParams::example();
+        p.v = p.u; // violates ineq. 8 the other way
+        assert!(p.validate().is_err());
+
+        let mut p = CostParams::example();
+        p.b = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = CostParams::example();
+        p.g = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn transit_fraction_decays_from_one() {
+        let p = CostParams::example();
+        assert!((p.transit_fraction(0.0) - 1.0).abs() < 1e-12);
+        assert!(p.transit_fraction(1.0) < 1.0);
+        assert!(p.transit_fraction(10.0) < p.transit_fraction(5.0));
+    }
+
+    #[test]
+    fn cost_formulations_agree() {
+        // Eq. 10 is eq. 9 with m = 0 and everything non-transit direct.
+        let params = CostParams::example();
+        for n in [0.0, 1.0, 2.5, 7.0] {
+            let d = 1.0 - params.transit_fraction(n);
+            let a = params.cost_direct_only(n);
+            let b = params.cost_general(n, 0.0, d);
+            assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+        }
+        // Eq. 12 is eq. 9 with d frozen at the direct-only optimum's level.
+        for (n, m) in [(1.0, 0.0), (2.0, 1.0), (1.5, 3.0)] {
+            let d = 1.0 - params.transit_fraction(n);
+            let a = params.cost_with_remote(n, m);
+            let b = params.cost_general(n, m, d);
+            assert!((a - b).abs() < 1e-12, "n={n} m={m}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn no_peering_costs_exactly_transit() {
+        let p = CostParams::example();
+        assert!((p.cost_direct_only(0.0) - p.p).abs() < 1e-12);
+        assert!((p.cost_with_remote(0.0, 0.0) - p.p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_extension_at_zero_m_matches_direct_only() {
+        let p = CostParams::example();
+        for n in [0.0, 1.0, 3.0] {
+            assert!((p.cost_with_remote(n, 0.0) - p.cost_direct_only(n)).abs() < 1e-12);
+        }
+    }
+}

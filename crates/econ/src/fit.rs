@@ -1,0 +1,121 @@
+//! Fitting the decay model to empirical offload curves.
+//!
+//! Section 5.1: "we fit the RedIRIS data to exponential decay and model the
+//! transit traffic fraction as `t = e^(−b·(n+m))`". This module performs
+//! that fit: log-linear least squares through the origin (the model pins
+//! `t(0) = 1`), with an R² goodness measure computed in log space.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `t_k = e^(−b·k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayFit {
+    /// Fitted decay rate.
+    pub b: f64,
+    /// Coefficient of determination in log space (1 = perfect exponential).
+    pub r_squared: f64,
+}
+
+impl DecayFit {
+    /// Model prediction for `k` reached IXPs.
+    pub fn predict(&self, k: f64) -> f64 {
+        (-self.b * k).exp()
+    }
+}
+
+/// Fit the decay rate to a remaining-transit-fraction curve.
+///
+/// `fractions[k]` is the transit fraction remaining after reaching `k` IXPs
+/// (`fractions[0]` should be 1). Zero or negative fractions are excluded
+/// (log undefined); fewer than two usable points yield `None`.
+pub fn fit_decay(fractions: &[f64]) -> Option<DecayFit> {
+    let points: Vec<(f64, f64)> = fractions
+        .iter()
+        .enumerate()
+        .skip(1) // k = 0 carries no information for a through-origin fit
+        .filter(|(_, t)| **t > 0.0 && t.is_finite())
+        .map(|(k, t)| (k as f64, t.ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    // Least squares for y = −b·k through the origin: b = −Σk·y / Σk².
+    let sum_ky: f64 = points.iter().map(|(k, y)| k * y).sum();
+    let sum_kk: f64 = points.iter().map(|(k, _)| k * k).sum();
+    let b = -sum_ky / sum_kk;
+
+    // R² in log space against the through-origin model.
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|(k, y)| (y + b * k).powi(2)).sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(DecayFit { b, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_exponential() {
+        let b_true = 0.42;
+        let curve: Vec<f64> = (0..20).map(|k| (-b_true * k as f64).exp()).collect();
+        let fit = fit_decay(&curve).unwrap();
+        assert!((fit.b - b_true).abs() < 1e-12);
+        assert!(fit.r_squared > 0.999_999);
+        assert!((fit.predict(3.0) - curve[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let b_true = 0.3;
+        let noisy: Vec<f64> = (0..15)
+            .map(|k| (-b_true * k as f64).exp() * (1.0 + 0.05 * ((k * 7 % 3) as f64 - 1.0)))
+            .collect();
+        let fit = fit_decay(&noisy).unwrap();
+        assert!((fit.b - b_true).abs() < 0.05, "{}", fit.b);
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn detects_non_exponential_shape() {
+        // Linear decay fits an exponential poorly at this depth.
+        let linear: Vec<f64> = (0..20).map(|k| 1.0 - 0.045 * k as f64).collect();
+        let fit = fit_decay(&linear).unwrap();
+        let exact: Vec<f64> = (0..20).map(|k| (-fit.b * k as f64).exp()).collect();
+        let exact_fit = fit_decay(&exact).unwrap();
+        assert!(fit.r_squared < exact_fit.r_squared);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_decay(&[]).is_none());
+        assert!(fit_decay(&[1.0]).is_none());
+        assert!(
+            fit_decay(&[1.0, 0.5]).is_none(),
+            "one usable point is not enough"
+        );
+        assert!(fit_decay(&[1.0, 0.0, -1.0]).is_none());
+        assert!(fit_decay(&[1.0, 0.6, 0.4]).is_some());
+    }
+
+    #[test]
+    fn offload_floor_curves_still_fit() {
+        // Realistic shape: decay toward a floor (not all traffic is
+        // offloadable). The fit underestimates nothing catastrophically and
+        // stays positive.
+        let curve: Vec<f64> = (0..30)
+            .map(|k| 0.75 + 0.25 * (-0.8 * k as f64).exp())
+            .collect();
+        let fit = fit_decay(&curve).unwrap();
+        assert!(
+            fit.b > 0.0 && fit.b < 0.1,
+            "gentle effective decay: {}",
+            fit.b
+        );
+    }
+}

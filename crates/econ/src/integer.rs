@@ -1,0 +1,183 @@
+//! Integer-constrained optima.
+//!
+//! The paper's closed forms treat the numbers of peered IXPs as continuous
+//! (eqs. 11 and 13); a network, of course, reaches a whole number of IXPs.
+//! Because the cost functions are convex in `n` and in `m`, the integer
+//! optimum is always one of the two integers bracketing the continuous one
+//! — this module computes it exactly and exposes how much the continuous
+//! relaxation under-estimates the cost (it is a lower bound).
+
+use crate::cost::CostParams;
+use crate::optimum::{optimal_joint, optimal_remote};
+use serde::{Deserialize, Serialize};
+
+/// Integer-constrained joint optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegerOptimum {
+    /// Optimal whole number of directly peered IXPs.
+    pub n: u32,
+    /// Optimal whole number of remotely peered IXPs (given `n`).
+    pub m: u32,
+}
+
+/// Cost of the integer plan `(n, m)` under the paper's staged strategy
+/// (direct peering fixed first, remote peering added).
+pub fn integer_cost(params: &CostParams, plan: IntegerOptimum) -> f64 {
+    params.cost_with_remote(plan.n as f64, plan.m as f64)
+}
+
+/// Exact integer optimum by bracketing the *joint* continuous solution.
+///
+/// Eq. 12's cost is jointly convex in (n, m), so the integer optimum lies
+/// in the unit box around the continuous joint optimum or on the n = 0
+/// boundary; for each candidate `n` the best integer `m` brackets the
+/// continuous optimum given that `n` (re-solved, since the optimal m
+/// depends on n).
+pub fn optimal_integer(params: &CostParams) -> IntegerOptimum {
+    let joint = optimal_joint(params);
+    let n_candidates = [
+        joint.n.floor().max(0.0) as u32,
+        joint.n.ceil().max(0.0) as u32,
+        0,
+    ];
+
+    let mut best: Option<(f64, IntegerOptimum)> = None;
+    for &n in &n_candidates {
+        // Continuous m given this integer n: first-order condition of
+        // eq. 12, n fixed.
+        let arg = params.b * (params.p - params.v) / params.h;
+        let total_k = if arg > 1.0 { arg.ln() / params.b } else { 0.0 };
+        let m_cont = (total_k - n as f64).max(0.0);
+        for m in [m_cont.floor() as u32, m_cont.ceil() as u32] {
+            let plan = IntegerOptimum { n, m };
+            let cost = integer_cost(params, plan);
+            if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, plan));
+            }
+        }
+    }
+    best.expect("candidates exist").1
+}
+
+/// The integrality gap: how much the continuous joint relaxation's cost
+/// (a true lower bound) underestimates the achievable integer cost, as a
+/// fraction.
+pub fn integrality_gap(params: &CostParams) -> f64 {
+    let cont = optimal_joint(params).cost;
+    let int = integer_cost(params, optimal_integer(params));
+    (int - cont) / cont.max(f64::MIN_POSITIVE)
+}
+
+/// The staging penalty: how much the paper's sequential approach (eq. 11
+/// then eq. 13) costs relative to the joint continuous optimum, as a
+/// fraction. Zero when the stages happen to agree; positive otherwise.
+pub fn staging_penalty(params: &CostParams) -> f64 {
+    let staged = optimal_remote(params).cost;
+    let joint = optimal_joint(params).cost;
+    (staged - joint) / joint.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_optimum_brackets_continuous_joint() {
+        let params = CostParams::example();
+        let joint = optimal_joint(&params);
+        let int = optimal_integer(&params);
+        assert!(
+            (int.n as f64 - joint.n).abs() <= 1.0 || int.n == 0,
+            "integer n {} vs joint {}",
+            int.n,
+            joint.n
+        );
+    }
+
+    #[test]
+    fn staged_is_never_better_than_joint() {
+        for b in [0.05, 0.2, 0.5, 0.9, 1.5, 2.4] {
+            let params = CostParams {
+                b,
+                ..CostParams::example()
+            };
+            assert!(staging_penalty(&params) >= -1e-12, "b={b}");
+        }
+        // And the penalty is strictly positive somewhere: the paper's
+        // sequential optimization genuinely leaves money on the table.
+        let cheap_remote = CostParams {
+            p: 1.0,
+            u: 0.24,
+            v: 0.26,
+            g: 0.02,
+            h: 0.001,
+            b: 0.05,
+        };
+        cheap_remote.validate().unwrap();
+        assert!(
+            staging_penalty(&cheap_remote) > 1e-4,
+            "{}",
+            staging_penalty(&cheap_remote)
+        );
+    }
+
+    #[test]
+    fn integer_cost_bounds_continuous_cost() {
+        for b in [0.2, 0.4, 0.7, 1.1, 1.9] {
+            let params = CostParams {
+                b,
+                ..CostParams::example()
+            };
+            let gap = integrality_gap(&params);
+            assert!(
+                gap >= -1e-12,
+                "continuous must lower-bound integer: gap {gap}"
+            );
+            assert!(gap < 0.25, "gap should be modest: {gap} at b={b}");
+        }
+    }
+
+    #[test]
+    fn all_transit_when_peering_never_pays() {
+        let params = CostParams {
+            g: 100.0,
+            h: 50.0,
+            ..CostParams::example()
+        };
+        let int = optimal_integer(&params);
+        assert_eq!(int, IntegerOptimum { n: 0, m: 0 });
+        assert!((integer_cost(&params, int) - params.p).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_integer_beats_all_neighbors(
+            u in 0.05f64..0.4,
+            v_frac in 0.1f64..0.9,
+            g in 0.02f64..0.4,
+            h_frac in 0.05f64..0.95,
+            b in 0.05f64..2.5,
+        ) {
+            let p = 1.0;
+            let v = u + v_frac * (p - u) * 0.99 + 1e-9;
+            let h = h_frac * g * 0.99;
+            let params = CostParams { p, u, v, g, h, b };
+            prop_assume!(params.validate().is_ok());
+            let int = optimal_integer(&params);
+            let c0 = integer_cost(&params, int);
+            // The chosen plan beats an exhaustive small grid (the optimum
+            // is provably inside it for these parameter ranges).
+            for n in 0..40u32 {
+                for m in 0..40u32 {
+                    let c = integer_cost(&params, IntegerOptimum { n, m });
+                    prop_assert!(
+                        c0 <= c + 1e-9,
+                        "(n={n}, m={m}) cost {c} beats chosen {:?} cost {c0}",
+                        int
+                    );
+                }
+            }
+        }
+    }
+}

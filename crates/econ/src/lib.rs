@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # rp-econ
+//!
+//! The paper's section 5 economic model, implemented exactly as published
+//! and cross-validated numerically.
+//!
+//! A network delivers its global traffic through three options — transit,
+//! direct peering at `n` distant IXPs, and remote peering at `m` IXPs — with
+//! traffic fractions `t + d + r = 1` (eq. 1). Generalizing the empirically
+//! observed diminishing marginal utility of reaching an extra IXP
+//! (figures 9 and 10), the transit fraction decays exponentially in the
+//! number of reached IXPs: `t = e^(−b·(n+m))` (eq. 3). Costs (eqs. 4–6)
+//! combine a normalized transit price `p`, per-IXP traffic-independent costs
+//! `g` (direct) and `h` (remote), and per-unit traffic-dependent costs `u`
+//! (direct) and `v` (remote), under the paper's cost-structure invariants
+//! `h < g` and `u < v < p` (eqs. 7–8).
+//!
+//! The crate provides:
+//!
+//! - [`CostParams`] and the total-cost functions of eqs. 9, 10, and 12;
+//! - the closed-form optima ñ (eq. 11) and m̃ (eq. 13);
+//! - the economic-viability condition `g(p−v)/(h(p−u)) ≥ e^b` (eq. 14);
+//! - numeric cross-validation ([`optimum::minimize_scalar`]) used by the
+//!   property tests to confirm the closed forms;
+//! - least-squares fitting of the decay parameter `b` to empirical
+//!   remaining-transit curves ([`fit`]), connecting section 4's
+//!   measurements to section 5's model;
+//! - integer-constrained optima ([`integer`]) — networks reach whole IXPs;
+//!   convexity confines the integer optimum to the integers bracketing the
+//!   continuous one, and the integrality gap is exact.
+
+pub mod cost;
+pub mod fit;
+pub mod integer;
+pub mod optimum;
+pub mod viability;
+
+pub use cost::CostParams;
+pub use fit::{fit_decay, DecayFit};
+pub use integer::{integrality_gap, optimal_integer, staging_penalty, IntegerOptimum};
+pub use optimum::{
+    optimal_direct, optimal_joint, optimal_remote, OptimalDirect, OptimalJoint, OptimalRemote,
+};
+pub use viability::{viability_margin, viable};

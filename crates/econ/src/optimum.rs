@@ -1,0 +1,324 @@
+//! Closed-form optima (eqs. 11 and 13) and the numeric minimizer used to
+//! cross-validate them.
+
+use crate::cost::CostParams;
+use serde::{Deserialize, Serialize};
+
+/// The transit + direct-peering optimum (eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalDirect {
+    /// Optimal number of directly peered IXPs, ñ (continuous; clamped at 0
+    /// when direct peering never pays).
+    pub n: f64,
+    /// Traffic fraction offloaded via direct peering at the optimum, d̃.
+    pub d: f64,
+    /// Total cost at the optimum.
+    pub cost: f64,
+}
+
+/// The remote-peering extension optimum (eq. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalRemote {
+    /// Optimal number of remotely peered extra IXPs, m̃ (continuous; clamped
+    /// at 0 when remote peering never pays).
+    pub m: f64,
+    /// Total cost at (ñ, m̃).
+    pub cost: f64,
+}
+
+/// Eq. 11: `ñ = ln(b·(p−u)/g) / b`, `d̃ = 1 − e^(−b·ñ)`.
+///
+/// When `b·(p−u) ≤ g` the marginal IXP never pays for itself and the
+/// optimum clamps to `n = 0` (all-transit).
+pub fn optimal_direct(params: &CostParams) -> OptimalDirect {
+    let arg = params.b * (params.p - params.u) / params.g;
+    let n = if arg > 1.0 { arg.ln() / params.b } else { 0.0 };
+    let d = 1.0 - (-params.b * n).exp();
+    OptimalDirect {
+        n,
+        d,
+        cost: params.cost_direct_only(n),
+    }
+}
+
+/// Eq. 13: the optimal number of remotely peered extra IXPs, continuing
+/// from the direct optimum ñ.
+///
+/// The first-order condition on eq. 12 gives `ñ + m̃ = ln(b·(p−v)/h) / b`;
+/// substituting the *interior* ñ of eq. 11 yields the paper's printed form
+/// `m̃ = ln( g·(p−v) / (h·(p−u)) ) / b`. The printed form silently assumes
+/// ñ is interior: when direct peering never pays (`b·(p−u) ≤ g`, so ñ
+/// clamps to 0) the substitution is invalid and would overstate m̃. This
+/// implementation solves the first-order condition against the actual
+/// (possibly clamped) ñ, which reproduces eq. 13 exactly whenever ñ > 0 —
+/// the regime the paper analyzes — and stays correct at the boundary. The
+/// property tests cross-check both regimes against a numeric minimizer.
+pub fn optimal_remote(params: &CostParams) -> OptimalRemote {
+    let direct = optimal_direct(params);
+    let arg = params.b * (params.p - params.v) / params.h;
+    let total_k = if arg > 1.0 { arg.ln() / params.b } else { 0.0 };
+    let m = (total_k - direct.n).max(0.0);
+    OptimalRemote {
+        m,
+        cost: params.cost_with_remote(direct.n, m),
+    }
+}
+
+/// The *joint* continuous optimum over (n, m) — a strictly stronger
+/// solution than the paper's staged approach.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalJoint {
+    /// Jointly optimal number of directly peered IXPs.
+    pub n: f64,
+    /// Jointly optimal number of remotely peered IXPs.
+    pub m: f64,
+    /// Total cost at the joint optimum.
+    pub cost: f64,
+}
+
+/// Minimize eq. 12's cost over `n` and `m` *together*.
+///
+/// The paper optimizes sequentially: eq. 11 fixes ñ assuming no remote
+/// peering, then eq. 13 adds m̃ on top. Sequential is not joint: once
+/// remote peering is available, the optimal number of *direct* IXPs
+/// changes (remote IXPs cover the margin more cheaply). Setting both
+/// partial derivatives of eq. 12 to zero gives, in the interior,
+///
+/// ```text
+/// n* = ln( b·(v−u) / (g−h) ) / b        (not eq. 11's ñ!)
+/// n* + m* = ln( b·(p−v) / h ) / b
+/// ```
+///
+/// with boundary clamps at n = 0 (all peering remote) and m = 0 (eq. 11
+/// exactly). The cost function is jointly convex, so these candidates
+/// exhaust the optimum. The staged solution's cost is an upper bound; the
+/// gap is the price of the paper's sequential simplification.
+pub fn optimal_joint(params: &CostParams) -> OptimalJoint {
+    let b = params.b;
+    let total_arg = b * (params.p - params.v) / params.h;
+    let total_k = if total_arg > 1.0 {
+        total_arg.ln() / b
+    } else {
+        0.0
+    };
+
+    let mut candidates: Vec<(f64, f64)> = Vec::new();
+    // Interior stationary point.
+    let n_arg = b * (params.v - params.u) / (params.g - params.h);
+    if n_arg > 1.0 {
+        let n = n_arg.ln() / b;
+        if n <= total_k {
+            candidates.push((n, total_k - n));
+        }
+    }
+    // Boundary n = 0: remote-only peering.
+    candidates.push((0.0, total_k));
+    // Boundary m = 0: eq. 11's direct-only optimum.
+    let direct = optimal_direct(params);
+    candidates.push((direct.n, 0.0));
+    // No peering at all.
+    candidates.push((0.0, 0.0));
+
+    let best = candidates
+        .into_iter()
+        .map(|(n, m)| (params.cost_with_remote(n, m), n, m))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"))
+        .expect("candidates non-empty");
+    OptimalJoint {
+        n: best.1,
+        m: best.2,
+        cost: best.0,
+    }
+}
+
+/// The paper's eq. 13 exactly as printed: `m̃ = ln(g(p−v)/(h(p−u)))/b`,
+/// valid in the interior-ñ regime. Exposed for the benches that reproduce
+/// the section 5 analysis verbatim.
+pub fn eq13_printed(params: &CostParams) -> f64 {
+    let ratio = params.g * (params.p - params.v) / (params.h * (params.p - params.u));
+    if ratio > 1.0 {
+        ratio.ln() / params.b
+    } else {
+        0.0
+    }
+}
+
+/// Golden-section minimizer over `[lo, hi]` for smooth unimodal scalar
+/// functions — the numeric referee for the closed forms.
+pub fn minimize_scalar(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = (a + b) / 2.0;
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_form_direct_matches_numeric() {
+        let params = CostParams::example();
+        let analytic = optimal_direct(&params);
+        let (n_num, c_num) = minimize_scalar(|n| params.cost_direct_only(n), 0.0, 50.0, 1e-9);
+        assert!(
+            (analytic.n - n_num).abs() < 1e-5,
+            "{} vs {}",
+            analytic.n,
+            n_num
+        );
+        assert!((analytic.cost - c_num).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_remote_matches_numeric() {
+        let params = CostParams::example();
+        let direct = optimal_direct(&params);
+        let analytic = optimal_remote(&params);
+        let (m_num, c_num) =
+            minimize_scalar(|m| params.cost_with_remote(direct.n, m), 0.0, 50.0, 1e-9);
+        assert!(
+            (analytic.m - m_num).abs() < 1e-5,
+            "{} vs {}",
+            analytic.m,
+            m_num
+        );
+        assert!((analytic.cost - c_num).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_when_peering_never_pays() {
+        // Enormous per-IXP cost: stay on transit.
+        let params = CostParams {
+            g: 100.0,
+            h: 50.0,
+            ..CostParams::example()
+        };
+        params.validate().unwrap();
+        let d = optimal_direct(&params);
+        assert_eq!(d.n, 0.0);
+        assert_eq!(d.d, 0.0);
+        assert!((d.cost - params.p).abs() < 1e-12);
+        // With h also enormous, remote peering never pays either:
+        // b(p−v)/h ≪ 1.
+        let r = optimal_remote(&params);
+        assert_eq!(r.m, 0.0);
+        assert!((r.cost - params.p).abs() < 1e-12);
+
+        // But with a tiny h, remote peering pays even though direct still
+        // does not — the regime where the printed eq. 13 would mislead.
+        let params = CostParams {
+            g: 100.0,
+            h: 0.05,
+            ..CostParams::example()
+        };
+        params.validate().unwrap();
+        assert_eq!(optimal_direct(&params).n, 0.0);
+        let r = optimal_remote(&params);
+        assert!(r.m > 1.0, "m̃ = {}", r.m);
+        assert!(
+            r.m < eq13_printed(&params),
+            "printed form overstates in clamped regime"
+        );
+        let (m_num, _) = minimize_scalar(|m| params.cost_with_remote(0.0, m), 0.0, 50.0, 1e-9);
+        assert!((r.m - m_num).abs() < 1e-5, "{} vs numeric {}", r.m, m_num);
+    }
+
+    #[test]
+    fn printed_eq13_matches_general_form_in_interior_regime() {
+        let params = CostParams::example();
+        assert!(optimal_direct(&params).n > 0.0, "interior regime");
+        let general = optimal_remote(&params).m;
+        assert!((general - eq13_printed(&params)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_remote_never_costs_more_than_direct_only_optimum() {
+        let params = CostParams::example();
+        let d = optimal_direct(&params);
+        let r = optimal_remote(&params);
+        assert!(r.cost <= d.cost + 1e-12);
+    }
+
+    #[test]
+    fn networks_with_global_traffic_use_more_remote_peering() {
+        // Lower b (globally spread traffic) ⇒ larger m̃ — the paper's
+        // conclusion that remote peering is "more viable for networks with
+        // lower b values".
+        let lo_b = CostParams {
+            b: 0.2,
+            ..CostParams::example()
+        };
+        let hi_b = CostParams {
+            b: 1.2,
+            ..CostParams::example()
+        };
+        assert!(optimal_remote(&lo_b).m > optimal_remote(&hi_b).m);
+    }
+
+    fn arb_params() -> impl Strategy<Value = CostParams> {
+        // Generate invariant-respecting parameters: u < v < p, h < g, b > 0.
+        (
+            0.05f64..0.5,
+            0.05f64..0.9,
+            0.05f64..0.9,
+            0.01f64..0.5,
+            0.05f64..0.95,
+            0.05f64..2.0,
+        )
+            .prop_map(|(u_frac, v_frac, g, h_frac, _spare, b)| {
+                let p = 1.0;
+                let u = u_frac * p;
+                let v = u + v_frac * (p - u) * 0.99 + 1e-6;
+                let h = h_frac * g * 0.99;
+                CostParams { p, u, v, g, h, b }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closed_forms_beat_numeric_grid(params in arb_params()) {
+            prop_assume!(params.validate().is_ok());
+            let d = optimal_direct(&params);
+            // The closed form is no worse than any grid point.
+            for k in 0..200 {
+                let n = k as f64 * 0.25;
+                prop_assert!(d.cost <= params.cost_direct_only(n) + 1e-9,
+                    "n={n} beats closed form");
+            }
+            let r = optimal_remote(&params);
+            for k in 0..200 {
+                let m = k as f64 * 0.25;
+                prop_assert!(r.cost <= params.cost_with_remote(d.n, m) + 1e-9,
+                    "m={m} beats closed form");
+            }
+        }
+
+        #[test]
+        fn prop_offload_fraction_in_unit_interval(params in arb_params()) {
+            prop_assume!(params.validate().is_ok());
+            let d = optimal_direct(&params);
+            prop_assert!((0.0..=1.0).contains(&d.d));
+            prop_assert!(d.n >= 0.0);
+        }
+    }
+}

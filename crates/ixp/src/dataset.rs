@@ -1,0 +1,899 @@
+//! Embedded IXP datasets.
+//!
+//! [`STUDIED_22`] reprints the paper's Table 1 — the 22 IXPs, across four
+//! continents, that had PCH or RIPE NCC looking-glass servers during the
+//! October 2013 – January 2014 campaign. The `paper_*` fields are the
+//! published values and serve as fidelity references for the regenerated
+//! Table 1; the `remote_share` and `secondary_site` fields encode the
+//! qualitative facts the paper reports about each IXP (e.g. roughly one
+//! fifth of AMS-IX members peered remotely; TOP-IX federates with VSIX in
+//! Padua and LyonIX in Lyon, which drives its high remote fraction; DIX-IE
+//! and CABASE showed no remote peers at all).
+//!
+//! [`euro_ix_65`] extends the 22 to the 65-IXP Euro-IX-affiliated set of
+//! February 2013 used by the section 4 offload study, including the
+//! additional IXPs the paper names in figures 7 and 8 (Terremark, SFINX,
+//! CoreSite, NL-ix) with their reported properties (Terremark: 267 members,
+//! mostly from South and Central America, sharing only ~50 with the big
+//! European trio).
+
+use crate::model::LgOperator;
+use rp_types::geo::Continent;
+use serde::Serialize;
+
+/// Static metadata of one IXP.
+#[derive(Debug, Clone, Serialize)]
+pub struct IxpMeta {
+    /// Short name as used throughout the paper's figures.
+    pub acronym: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// Main-site city (must exist in [`rp_types::geo::WORLD_CITIES`]).
+    pub city: &'static str,
+    /// Peak traffic in Tbps from Table 1 (`None` where the paper has N/A).
+    pub peak_traffic_tbps: Option<f64>,
+    /// Member count from Table 1 / Euro-IX data — the membership generator's
+    /// size target.
+    pub paper_members: u32,
+    /// Analyzed-interface count from Table 1 (only for the studied 22);
+    /// a fidelity reference, never an input.
+    pub paper_analyzed: Option<u32>,
+    /// Looking-glass servers present (empty = not probeable; such IXPs only
+    /// participate in the offload study).
+    pub lg: &'static [LgOperator],
+    /// Target fraction of members peering remotely (ground-truth knob; the
+    /// paper observed "up to 20%", about one fifth at AMS-IX, and none at
+    /// DIX-IE and CABASE).
+    pub remote_share: f64,
+    /// Federated second site: (city, fraction of members attaching there).
+    /// Probes crossing the inter-site span are what the LG-consistent filter
+    /// has to catch.
+    pub secondary_site: Option<(&'static str, f64)>,
+    /// Historical catchment role: an extra gravity factor for members from
+    /// one continent. Terremark's NAP of the Americas drew "numerous
+    /// members ... from South and Central America" despite the distance.
+    pub magnet: Option<(Continent, f64)>,
+}
+
+use LgOperator::{Pch, RipeNcc};
+
+const BOTH: &[LgOperator] = &[Pch, RipeNcc];
+const PCH: &[LgOperator] = &[Pch];
+const RIPE: &[LgOperator] = &[RipeNcc];
+const NONE: &[LgOperator] = &[];
+
+macro_rules! ixp {
+    ($acr:expr, $name:expr, $city:expr, $peak:expr, $members:expr, $analyzed:expr,
+     $lg:expr, $remote:expr, $site2:expr) => {
+        IxpMeta {
+            acronym: $acr,
+            name: $name,
+            city: $city,
+            peak_traffic_tbps: $peak,
+            paper_members: $members,
+            paper_analyzed: $analyzed,
+            lg: $lg,
+            remote_share: $remote,
+            secondary_site: $site2,
+            magnet: None,
+        }
+    };
+}
+
+/// The paper's Table 1: the 22 studied IXPs, in the table's order
+/// (descending analyzed-interface count).
+pub const STUDIED_22: &[IxpMeta] = &[
+    ixp!(
+        "AMS-IX",
+        "Amsterdam Internet Exchange",
+        "Amsterdam",
+        Some(5.48),
+        638,
+        Some(665),
+        BOTH,
+        0.20,
+        None
+    ),
+    ixp!(
+        "DE-CIX",
+        "German Commercial Internet Exchange",
+        "Frankfurt",
+        Some(3.21),
+        463,
+        Some(535),
+        BOTH,
+        0.16,
+        None
+    ),
+    ixp!(
+        "LINX",
+        "London Internet Exchange",
+        "London",
+        Some(2.60),
+        497,
+        Some(521),
+        BOTH,
+        0.15,
+        None
+    ),
+    ixp!(
+        "HKIX",
+        "Hong Kong Internet Exchange",
+        "Hong Kong",
+        Some(0.48),
+        213,
+        Some(278),
+        PCH,
+        0.12,
+        None
+    ),
+    ixp!(
+        "NYIIX",
+        "New York International Internet Exchange",
+        "New York",
+        Some(0.46),
+        132,
+        Some(239),
+        PCH,
+        0.13,
+        None
+    ),
+    ixp!(
+        "MSK-IX",
+        "Moscow Internet eXchange",
+        "Moscow",
+        Some(1.32),
+        367,
+        Some(218),
+        BOTH,
+        0.07,
+        None
+    ),
+    ixp!(
+        "PLIX",
+        "Polish Internet Exchange",
+        "Warsaw",
+        Some(0.63),
+        235,
+        Some(207),
+        PCH,
+        0.08,
+        None
+    ),
+    ixp!(
+        "France-IX",
+        "France-IX",
+        "Paris",
+        Some(0.23),
+        230,
+        Some(201),
+        BOTH,
+        0.14,
+        None
+    ),
+    ixp!(
+        "PTT",
+        "PTTMetro Sao Paolo",
+        "Sao Paulo",
+        Some(0.30),
+        482,
+        Some(180),
+        PCH,
+        0.13,
+        Some(("Rio de Janeiro", 0.06))
+    ),
+    ixp!(
+        "SIX",
+        "Seattle Internet Exchange",
+        "Seattle",
+        Some(0.53),
+        177,
+        Some(175),
+        BOTH,
+        0.08,
+        None
+    ),
+    ixp!(
+        "LoNAP",
+        "London Network Access Point",
+        "London",
+        Some(0.10),
+        142,
+        Some(166),
+        PCH,
+        0.11,
+        None
+    ),
+    ixp!(
+        "JPIX",
+        "Japan Internet Exchange",
+        "Tokyo",
+        Some(0.43),
+        131,
+        Some(163),
+        PCH,
+        0.09,
+        None
+    ),
+    ixp!(
+        "TorIX",
+        "Toronto Internet Exchange",
+        "Toronto",
+        Some(0.28),
+        177,
+        Some(161),
+        PCH,
+        0.08,
+        None
+    ),
+    ixp!(
+        "VIX",
+        "Vienna Internet Exchange",
+        "Vienna",
+        Some(0.19),
+        121,
+        Some(134),
+        BOTH,
+        0.09,
+        None
+    ),
+    ixp!(
+        "MIX",
+        "Milan Internet Exchange",
+        "Milan",
+        Some(0.16),
+        133,
+        Some(131),
+        PCH,
+        0.08,
+        None
+    ),
+    ixp!(
+        "TOP-IX",
+        "Torino Piemonte Internet Exchange",
+        "Turin",
+        Some(0.05),
+        80,
+        Some(91),
+        PCH,
+        0.30,
+        Some(("Padua", 0.12))
+    ),
+    ixp!(
+        "Netnod",
+        "Netnod Internet Exchange",
+        "Stockholm",
+        Some(1.34),
+        89,
+        Some(71),
+        BOTH,
+        0.06,
+        None
+    ),
+    ixp!(
+        "KINX",
+        "Korea Internet Neutral Exchange",
+        "Seoul",
+        Some(0.15),
+        46,
+        Some(71),
+        PCH,
+        0.06,
+        None
+    ),
+    ixp!(
+        "CABASE",
+        "Argentine Chamber of Internet",
+        "Buenos Aires",
+        Some(0.02),
+        101,
+        Some(68),
+        PCH,
+        0.0,
+        None
+    ),
+    ixp!(
+        "INEX",
+        "Internet Neutral Exchange",
+        "Dublin",
+        Some(0.13),
+        63,
+        Some(66),
+        RIPE,
+        0.08,
+        None
+    ),
+    ixp!(
+        "DIX-IE",
+        "Distributed Internet Exchange in Edo",
+        "Tokyo",
+        None,
+        36,
+        Some(56),
+        PCH,
+        0.0,
+        None
+    ),
+    ixp!(
+        "TIE",
+        "Telx Internet Exchange",
+        "New York",
+        Some(0.02),
+        149,
+        Some(54),
+        PCH,
+        0.10,
+        None
+    ),
+];
+
+/// Additional Euro-IX-affiliated IXPs (no looking glass in our scenario —
+/// they join the offload study only). Member counts are plausible 2013-era
+/// values; the four IXPs the paper names in figures 7–8 carry the properties
+/// it reports.
+const EXTRA_43: &[IxpMeta] = &[
+    // Named in the paper's figures 7 and 8.
+    IxpMeta {
+        acronym: "Terremark",
+        name: "Terremark NAP of the Americas",
+        city: "Miami",
+        peak_traffic_tbps: Some(0.12),
+        paper_members: 267,
+        paper_analyzed: None,
+        lg: NONE,
+        remote_share: 0.10,
+        secondary_site: None,
+        magnet: Some((Continent::SouthAmerica, 20.0)),
+    },
+    ixp!(
+        "SFINX",
+        "Paris French Internet Exchange",
+        "Paris",
+        Some(0.04),
+        110,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "CoreSite",
+        "CoreSite Any2 Exchange",
+        "Los Angeles",
+        Some(0.10),
+        210,
+        None,
+        NONE,
+        0.06,
+        None
+    ),
+    ixp!(
+        "NL-ix",
+        "Netherlands Internet Exchange",
+        "Amsterdam",
+        Some(0.30),
+        240,
+        None,
+        NONE,
+        0.10,
+        None
+    ),
+    // RedIRIS's home exchanges (their members are excluded from its
+    // candidate remote peers).
+    ixp!(
+        "ESpanix",
+        "Espana Internet Exchange",
+        "Madrid",
+        Some(0.18),
+        58,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "CATNIX",
+        "Catalunya Neutral Internet Exchange",
+        "Barcelona",
+        Some(0.01),
+        28,
+        None,
+        NONE,
+        0.02,
+        None
+    ),
+    // The paper mentions TOP-IX's partners VSIX and LyonIX.
+    ixp!(
+        "VSIX",
+        "Veneto System Internet Exchange",
+        "Padua",
+        Some(0.01),
+        35,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "LyonIX",
+        "Lyon Internet Exchange",
+        "Lyon",
+        Some(0.01),
+        60,
+        None,
+        NONE,
+        0.06,
+        None
+    ),
+    // Remaining Euro-IX affiliates, Europe first.
+    ixp!(
+        "BIX",
+        "Budapest Internet Exchange",
+        "Budapest",
+        Some(0.25),
+        70,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "NIX.CZ",
+        "Neutral Internet Exchange Prague",
+        "Prague",
+        Some(0.22),
+        95,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "SwissIX",
+        "Swiss Internet Exchange",
+        "Zurich",
+        Some(0.18),
+        120,
+        None,
+        NONE,
+        0.06,
+        None
+    ),
+    ixp!(
+        "CIXP",
+        "CERN Internet Exchange Point",
+        "Geneva",
+        Some(0.02),
+        30,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "BNIX",
+        "Belgian National Internet Exchange",
+        "Brussels",
+        Some(0.12),
+        55,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "DIX",
+        "Danish Internet Exchange",
+        "Copenhagen",
+        Some(0.05),
+        50,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "NIX",
+        "Norwegian Internet Exchange",
+        "Oslo",
+        Some(0.08),
+        45,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "FICIX",
+        "Finnish Communication and Internet Exchange",
+        "Helsinki",
+        Some(0.06),
+        35,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "GigaPIX",
+        "Gigabit Portuguese Internet Exchange",
+        "Lisbon",
+        Some(0.02),
+        40,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "GR-IX",
+        "Greek Internet Exchange",
+        "Athens",
+        Some(0.03),
+        35,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "RoNIX",
+        "Romanian Network for Internet Exchange",
+        "Bucharest",
+        Some(0.09),
+        45,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "UA-IX",
+        "Ukrainian Internet Exchange",
+        "Kyiv",
+        Some(0.20),
+        85,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "ECIX",
+        "European Commercial Internet Exchange",
+        "Frankfurt",
+        Some(0.12),
+        90,
+        None,
+        NONE,
+        0.08,
+        None
+    ),
+    ixp!(
+        "TPIX",
+        "TP Internet Exchange",
+        "Warsaw",
+        Some(0.05),
+        60,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "InterLAN",
+        "InterLAN Internet Exchange",
+        "Bucharest",
+        Some(0.03),
+        40,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "SIX.SK",
+        "Slovak Internet Exchange",
+        "Vienna",
+        Some(0.04),
+        35,
+        None,
+        NONE,
+        0.03,
+        None
+    ),
+    ixp!(
+        "IXManchester",
+        "IX Manchester",
+        "Manchester",
+        Some(0.02),
+        45,
+        None,
+        NONE,
+        0.07,
+        None
+    ),
+    ixp!(
+        "TIX",
+        "Telehouse Internet Exchange",
+        "Istanbul",
+        Some(0.03),
+        40,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "RIX",
+        "Rome Internet Exchange",
+        "Rome",
+        Some(0.02),
+        35,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    // North America.
+    ixp!(
+        "Equinix-ASH",
+        "Equinix Exchange Ashburn",
+        "Ashburn",
+        Some(0.35),
+        220,
+        None,
+        NONE,
+        0.07,
+        None
+    ),
+    ixp!(
+        "Equinix-CHI",
+        "Equinix Exchange Chicago",
+        "Chicago",
+        Some(0.20),
+        150,
+        None,
+        NONE,
+        0.06,
+        None
+    ),
+    ixp!(
+        "Equinix-SV",
+        "Equinix Exchange Silicon Valley",
+        "San Jose",
+        Some(0.25),
+        170,
+        None,
+        NONE,
+        0.07,
+        None
+    ),
+    ixp!(
+        "Equinix-DAL",
+        "Equinix Exchange Dallas",
+        "Dallas",
+        Some(0.10),
+        90,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "QIX",
+        "Quebec Internet Exchange",
+        "Montreal",
+        Some(0.02),
+        40,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    ixp!(
+        "VANIX",
+        "Vancouver Internet Exchange",
+        "Vancouver",
+        Some(0.01),
+        30,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    // Latin America.
+    ixp!(
+        "PTT-RJ",
+        "PTTMetro Rio de Janeiro",
+        "Rio de Janeiro",
+        Some(0.05),
+        90,
+        None,
+        NONE,
+        0.08,
+        None
+    ),
+    ixp!(
+        "PTT-POA",
+        "PTTMetro Porto Alegre",
+        "Porto Alegre",
+        Some(0.02),
+        50,
+        None,
+        NONE,
+        0.08,
+        None
+    ),
+    ixp!(
+        "NAP-CL",
+        "NAP Chile",
+        "Santiago",
+        Some(0.03),
+        45,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "NAP-CO",
+        "NAP Colombia",
+        "Bogota",
+        Some(0.02),
+        40,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "NAP-PE",
+        "NAP Peru",
+        "Lima",
+        Some(0.01),
+        30,
+        None,
+        NONE,
+        0.04,
+        None
+    ),
+    // Asia-Pacific.
+    ixp!(
+        "JPNAP",
+        "Japan Network Access Point",
+        "Tokyo",
+        Some(0.50),
+        90,
+        None,
+        NONE,
+        0.05,
+        None
+    ),
+    ixp!(
+        "SGIX",
+        "Singapore Internet Exchange",
+        "Singapore",
+        Some(0.08),
+        70,
+        None,
+        NONE,
+        0.12,
+        None
+    ),
+    ixp!(
+        "MyIX",
+        "Malaysia Internet Exchange",
+        "Kuala Lumpur",
+        Some(0.03),
+        45,
+        None,
+        NONE,
+        0.06,
+        None
+    ),
+    ixp!(
+        "IX-AU",
+        "Internet Exchange Australia",
+        "Sydney",
+        Some(0.05),
+        60,
+        None,
+        NONE,
+        0.08,
+        None
+    ),
+    // Africa.
+    ixp!(
+        "JINX",
+        "Johannesburg Internet Exchange",
+        "Johannesburg",
+        Some(0.02),
+        50,
+        None,
+        NONE,
+        0.14,
+        None
+    ),
+];
+
+/// The 65-IXP Euro-IX-style set of the section 4 study: the studied 22 plus
+/// 43 additional affiliates. Order: studied IXPs first (so `IxpId`s of the
+/// section 3 study are stable whether or not the extra 43 are loaded).
+pub fn euro_ix_65() -> Vec<IxpMeta> {
+    STUDIED_22
+        .iter()
+        .cloned()
+        .chain(EXTRA_43.iter().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_types::geo::try_city;
+
+    #[test]
+    fn table1_has_22_rows_matching_paper_totals() {
+        assert_eq!(STUDIED_22.len(), 22);
+        let analyzed: u32 = STUDIED_22.iter().map(|m| m.paper_analyzed.unwrap()).sum();
+        assert_eq!(analyzed, 4_451, "Table 1 analyzed-interface total");
+        assert!(STUDIED_22.iter().all(|m| !m.lg.is_empty()));
+    }
+
+    #[test]
+    fn euro_ix_set_has_65_unique_acronyms() {
+        let all = euro_ix_65();
+        assert_eq!(all.len(), 65);
+        let mut acr: Vec<_> = all.iter().map(|m| m.acronym).collect();
+        acr.sort_unstable();
+        acr.dedup();
+        assert_eq!(acr.len(), 65);
+    }
+
+    #[test]
+    fn every_city_resolves() {
+        for m in euro_ix_65() {
+            assert!(try_city(m.city).is_some(), "{} city {}", m.acronym, m.city);
+            if let Some((c2, share)) = m.secondary_site {
+                assert!(try_city(c2).is_some(), "{} secondary {}", m.acronym, c2);
+                assert!((0.0..1.0).contains(&share));
+            }
+        }
+    }
+
+    #[test]
+    fn remote_shares_match_paper_qualitative_facts() {
+        let by_acr = |a: &str| STUDIED_22.iter().find(|m| m.acronym == a).unwrap();
+        // About one fifth of AMS-IX members peer remotely.
+        assert!((by_acr("AMS-IX").remote_share - 0.20).abs() < 1e-9);
+        // No remote peers detected at DIX-IE and CABASE.
+        assert_eq!(by_acr("DIX-IE").remote_share, 0.0);
+        assert_eq!(by_acr("CABASE").remote_share, 0.0);
+        // TOP-IX's federation gives it the highest remote fraction.
+        let top = by_acr("TOP-IX").remote_share;
+        assert!(STUDIED_22.iter().all(|m| m.remote_share <= top));
+    }
+
+    #[test]
+    fn figure7_ixps_are_present() {
+        let all = euro_ix_65();
+        for acr in [
+            "AMS-IX",
+            "LINX",
+            "DE-CIX",
+            "Terremark",
+            "SFINX",
+            "Netnod",
+            "CoreSite",
+            "TIE",
+            "NL-ix",
+            "PTT",
+        ] {
+            assert!(all.iter().any(|m| m.acronym == acr), "{acr}");
+        }
+        let terremark = all.iter().find(|m| m.acronym == "Terremark").unwrap();
+        assert_eq!(terremark.paper_members, 267);
+        assert_eq!(terremark.city, "Miami");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # rp-ixp
+//!
+//! The IXP substrate: everything the paper reads off PeeringDB, PCH,
+//! Euro-IX, and IXP websites, rebuilt as a generated — but statistically
+//! faithful — dataset over an [`rp_topology::Topology`].
+//!
+//! The crate produces an [`IxpScene`]: a declarative description of every
+//! IXP (city, sites, looking-glass servers), every member interface (its
+//! address in the IXP subnet, whether it attaches directly or through a
+//! remote-peering provider's layer-2 pseudowire, and its responder
+//! pathologies), and the registry view of those interfaces (which addresses
+//! are listed, which map to ASNs, which listings are stale). The scene *is*
+//! the ground truth; `remote-peering`'s measurement pipeline is only allowed
+//! to look at the registry and at ping replies, exactly like the paper.
+//!
+//! Embedded datasets:
+//!
+//! - [`dataset::STUDIED_22`] — the paper's Table 1: the 22 IXPs with
+//!   looking-glass servers used in the section 3 study;
+//! - [`dataset::euro_ix_65`] — the Euro-IX-style set of 65 IXPs used in the
+//!   section 4 offload study (a superset of the 22).
+
+pub mod dataset;
+pub mod membership;
+pub mod model;
+pub mod provider;
+pub mod registry;
+
+pub use dataset::{euro_ix_65, IxpMeta, STUDIED_22};
+pub use membership::{build_scene, PathologyRates, SceneConfig};
+pub use model::{Access, IxpInstance, IxpScene, LgOperator, MemberInterface, ResponderProfile};
+pub use provider::{default_providers, RemotePeeringProvider};
+pub use registry::{ListingEntry, Registry};

@@ -1,0 +1,182 @@
+//! Remote-peering providers.
+//!
+//! Section 2.3: "the remote-peering provider delivers traffic between the
+//! layer-2 switching infrastructure of the IXP and the remote interface of
+//! the customer," maintaining equipment at the IXP on the customer's behalf.
+//! The paper names IX Reach and Atrato IP Networks as examples and notes
+//! traditional transit providers also sell the service.
+//!
+//! A provider here is a named set of points of presence. A customer's
+//! pseudowire runs `home metro → nearest provider PoP → IXP`, so the
+//! detour through the provider's footprint is part of the measured RTT —
+//! one reason the paper's delay-to-distance mapping is conservative.
+
+use rp_types::geo::{city, GeoPoint, WORLD_CITIES};
+use serde::{Deserialize, Serialize};
+
+/// A layer-2 remote-peering provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemotePeeringProvider {
+    /// Provider name.
+    pub name: String,
+    /// City indices (into [`WORLD_CITIES`]) of the provider's PoPs.
+    pub pops: Vec<u16>,
+}
+
+impl RemotePeeringProvider {
+    /// Build a provider from city names. Panics on unknown cities (the
+    /// default table uses literals).
+    pub fn new(name: &str, pop_cities: &[&str]) -> Self {
+        let pops = pop_cities
+            .iter()
+            .map(|c| {
+                let target = city(c);
+                WORLD_CITIES
+                    .iter()
+                    .position(|w| w.name == target.name)
+                    .expect("city comes from the database") as u16
+            })
+            .collect();
+        RemotePeeringProvider {
+            name: name.to_string(),
+            pops,
+        }
+    }
+
+    /// Index of the PoP nearest to `from` (ties broken by table order).
+    pub fn nearest_pop(&self, from: GeoPoint) -> u16 {
+        *self
+            .pops
+            .iter()
+            .min_by(|a, b| {
+                let da = WORLD_CITIES[**a as usize].location.distance_km(from);
+                let db = WORLD_CITIES[**b as usize].location.distance_km(from);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("providers have at least one PoP")
+    }
+
+    /// One-way pseudowire delay in milliseconds for a customer at
+    /// `origin` reaching an IXP at `ixp`: origin → nearest PoP → IXP.
+    pub fn pseudowire_delay_ms(&self, origin: GeoPoint, ixp: GeoPoint) -> f64 {
+        let pop = WORLD_CITIES[self.nearest_pop(origin) as usize].location;
+        origin.fiber_delay_ms(pop) + pop.fiber_delay_ms(ixp)
+    }
+}
+
+/// The scenario's provider table: two specialist layer-2 carriers modeled on
+/// the companies the paper names, plus a transit provider reselling its
+/// footprint — reflecting the paper's note that transit providers leverage
+/// their delivery expertise to act as remote-peering intermediaries.
+pub fn default_providers() -> Vec<RemotePeeringProvider> {
+    vec![
+        RemotePeeringProvider::new(
+            "LayerTwoReach", // IX Reach-like: broad European + US footprint
+            &[
+                "London",
+                "Amsterdam",
+                "Frankfurt",
+                "Paris",
+                "Madrid",
+                "Milan",
+                "Vienna",
+                "Warsaw",
+                "Stockholm",
+                "New York",
+                "Miami",
+                "Los Angeles",
+                "Toronto",
+                "Hong Kong",
+                "Singapore",
+                "Tokyo",
+            ],
+        ),
+        RemotePeeringProvider::new(
+            "AtratoWire", // Atrato-like: European core + intercontinental
+            &[
+                "Amsterdam",
+                "Frankfurt",
+                "London",
+                "Budapest",
+                "Prague",
+                "Zurich",
+                "Istanbul",
+                "Moscow",
+                "New York",
+                "Sao Paulo",
+                "Johannesburg",
+                "Dubai",
+            ],
+        ),
+        RemotePeeringProvider::new(
+            "GlobalTransitL2", // transit provider selling pseudowires
+            &[
+                "New York",
+                "Chicago",
+                "Dallas",
+                "Seattle",
+                "Miami",
+                "Sao Paulo",
+                "Buenos Aires",
+                "Santiago",
+                "London",
+                "Amsterdam",
+                "Frankfurt",
+                "Hong Kong",
+                "Tokyo",
+                "Seoul",
+                "Sydney",
+                "Mumbai",
+                "Lagos",
+                "Nairobi",
+                "Cairo",
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_has_valid_pops() {
+        let providers = default_providers();
+        assert_eq!(providers.len(), 3);
+        for p in &providers {
+            assert!(!p.pops.is_empty());
+            for &pop in &p.pops {
+                assert!((pop as usize) < WORLD_CITIES.len());
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_pop_is_actually_nearest() {
+        let p = RemotePeeringProvider::new("t", &["London", "Tokyo", "Miami"]);
+        let near_tokyo = city("Seoul").location;
+        let pop = p.nearest_pop(near_tokyo);
+        assert_eq!(WORLD_CITIES[pop as usize].name, "Tokyo");
+    }
+
+    #[test]
+    fn pseudowire_delay_exceeds_direct_fiber() {
+        // Routing via a PoP can only add distance.
+        let p = RemotePeeringProvider::new("t", &["Frankfurt"]);
+        let origin = city("Madrid").location;
+        let ixp = city("Amsterdam").location;
+        let via = p.pseudowire_delay_ms(origin, ixp);
+        let direct = origin.fiber_delay_ms(ixp);
+        assert!(via >= direct, "{via} < {direct}");
+    }
+
+    #[test]
+    fn same_city_pop_adds_nothing() {
+        let p = RemotePeeringProvider::new("t", &["Madrid"]);
+        let origin = city("Madrid").location;
+        let ixp = city("Amsterdam").location;
+        let via = p.pseudowire_delay_ms(origin, ixp);
+        let direct = origin.fiber_delay_ms(ixp);
+        assert!((via - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! The registry — what the measurement campaign is allowed to know.
+//!
+//! Section 3.1: "IXP members do not typically announce the IP addresses of
+//! these interfaces via BGP. To determine the IP addresses of the targeted
+//! interfaces, we look up the addresses on the websites of PeeringDB, PCH,
+//! and the IXP itself," and network identification maps addresses to ASNs
+//! "through a combination of looking up PeeringDB, using the IXPs' websites
+//! and LG servers, and issuing reverse DNS queries."
+//!
+//! `Registry` is that lookup surface derived from the scene: per studied
+//! IXP, the *listed* addresses (stale phantoms included) and their ASN
+//! mappings (possibly missing, possibly changing mid-campaign). The
+//! detection pipeline consumes only this plus ping replies — never the
+//! scene's ground truth.
+
+use crate::model::IxpScene;
+use rp_topology::Topology;
+use rp_types::{Asn, IxpId};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One listed address at one IXP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListingEntry {
+    /// The listed interface address.
+    pub ip: Ipv4Addr,
+    /// ASN mappings observed over the campaign: empty when no source
+    /// identifies the address; two entries when the mapping changed
+    /// mid-campaign (the ASN-change filter discards such interfaces).
+    pub asns: Vec<Asn>,
+}
+
+impl ListingEntry {
+    /// The mapping in effect during campaign `phase` (0 = first half,
+    /// 1 = second half).
+    pub fn asn_in_phase(&self, phase: usize) -> Option<Asn> {
+        match self.asns.len() {
+            0 => None,
+            1 => Some(self.asns[0]),
+            _ => Some(self.asns[phase.min(self.asns.len() - 1)]),
+        }
+    }
+
+    /// True when the ASN mapping is unstable over the campaign.
+    pub fn asn_changed(&self) -> bool {
+        self.asns.len() > 1
+    }
+}
+
+/// Registry listings per IXP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Registry {
+    listings: Vec<Vec<ListingEntry>>,
+}
+
+impl Registry {
+    /// Derive the registry from a scene: listed interfaces at IXPs that have
+    /// looking-glass servers.
+    pub fn from_scene(scene: &IxpScene, topo: &Topology) -> Registry {
+        let listings = scene
+            .ixps
+            .iter()
+            .map(|ixp| {
+                if ixp.meta.lg.is_empty() {
+                    return Vec::new();
+                }
+                ixp.members
+                    .iter()
+                    .filter(|m| m.listing.listed)
+                    .map(|m| {
+                        let asns = if !m.listing.identifiable {
+                            Vec::new()
+                        } else if m.listing.asn_change {
+                            // The stale mapping points at a different real
+                            // network (neighboring id keeps it deterministic).
+                            let other = (m.network.index() + 1) % topo.len();
+                            vec![topo.node(m.network).asn, topo.ases[other].asn]
+                        } else {
+                            vec![topo.node(m.network).asn]
+                        };
+                        ListingEntry { ip: m.ip, asns }
+                    })
+                    .collect()
+            })
+            .collect();
+        Registry { listings }
+    }
+
+    /// Listed addresses at `ixp` (empty for IXPs without looking glasses).
+    pub fn entries(&self, ixp: IxpId) -> &[ListingEntry] {
+        &self.listings[ixp.index()]
+    }
+
+    /// Total listed addresses across all IXPs.
+    pub fn total_entries(&self) -> usize {
+        self.listings.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::STUDIED_22;
+    use crate::membership::{build_scene, SceneConfig};
+    use rp_topology::{generate, TopologyConfig};
+
+    fn registry() -> (Topology, IxpScene, Registry) {
+        let topo = generate(&TopologyConfig::test_scale(41));
+        let scene = build_scene(&topo, STUDIED_22, &SceneConfig::test_scale(42));
+        let reg = Registry::from_scene(&scene, &topo);
+        (topo, scene, reg)
+    }
+
+    #[test]
+    fn registry_covers_exactly_the_listed_interfaces() {
+        let (_, scene, reg) = registry();
+        for ixp in &scene.ixps {
+            let listed = ixp.members.iter().filter(|m| m.listing.listed).count();
+            assert_eq!(reg.entries(ixp.id).len(), listed, "{}", ixp.meta.acronym);
+        }
+    }
+
+    #[test]
+    fn identified_entries_map_to_owner_asn() {
+        let (topo, scene, reg) = registry();
+        for ixp in &scene.ixps {
+            for m in ixp
+                .members
+                .iter()
+                .filter(|m| m.listing.listed && m.listing.identifiable)
+            {
+                let entry = reg
+                    .entries(ixp.id)
+                    .iter()
+                    .find(|e| e.ip == m.ip)
+                    .expect("listed interface has an entry");
+                assert_eq!(entry.asn_in_phase(0), Some(topo.node(m.network).asn));
+                if m.listing.asn_change {
+                    assert!(entry.asn_changed());
+                    assert_ne!(entry.asn_in_phase(0), entry.asn_in_phase(1));
+                } else {
+                    assert!(!entry.asn_changed());
+                    assert_eq!(entry.asn_in_phase(0), entry.asn_in_phase(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unidentifiable_entries_have_no_asn() {
+        let (_, scene, reg) = registry();
+        let mut found = 0;
+        for ixp in &scene.ixps {
+            for m in ixp
+                .members
+                .iter()
+                .filter(|m| m.listing.listed && !m.listing.identifiable)
+            {
+                let entry = reg.entries(ixp.id).iter().find(|e| e.ip == m.ip).unwrap();
+                assert_eq!(entry.asn_in_phase(0), None);
+                found += 1;
+            }
+        }
+        assert!(found > 0, "some interfaces must be unidentifiable");
+    }
+
+    #[test]
+    fn phase_indexing_is_safe_beyond_bounds() {
+        let e = ListingEntry {
+            ip: "10.0.2.2".parse().unwrap(),
+            asns: vec![Asn(5)],
+        };
+        assert_eq!(e.asn_in_phase(7), Some(Asn(5)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Frames and packets.
+//!
+//! The simulator models exactly the protocol surface the measurement method
+//! touches: Ethernet-style frames carrying ARP or IPv4, and ICMP echo inside
+//! IPv4. Payloads are plain enums rather than wire-format byte buffers —
+//! nothing in the paper depends on serialization, and structured payloads
+//! keep the hot path allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The Ethernet broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A locally-administered unicast MAC derived from an index; the
+    /// simulator hands these out sequentially.
+    pub fn from_index(i: u64) -> Self {
+        let b = i.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// True for the broadcast address.
+    #[inline]
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArpOp {
+    /// Who-has query.
+    Request,
+    /// Is-at answer.
+    Reply,
+}
+
+/// An ARP packet (the subset of RFC 826 the scenes need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Queried / answered protocol address.
+    pub target_ip: Ipv4Addr,
+    /// Zero-filled in requests.
+    pub target_mac: MacAddr,
+}
+
+/// ICMP message: echo (ping) and Time Exceeded (traceroute's working
+/// principle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcmpMessage {
+    /// A ping.
+    EchoRequest {
+        /// Sender's ICMP identifier.
+        id: u16,
+        /// Probe sequence number.
+        seq: u16,
+    },
+    /// A ping answer.
+    EchoReply {
+        /// Echoed identifier.
+        id: u16,
+        /// Echoed sequence number.
+        seq: u16,
+    },
+    /// Sent by a router that decremented a packet's TTL to zero. Carries
+    /// enough of the original header (destination, echo id/seq) for the
+    /// sender to match it to its probe — exactly what traceroute needs and
+    /// exactly what layer-2 pseudowires never generate.
+    TimeExceeded {
+        /// Destination of the expired packet.
+        original_dst: Ipv4Addr,
+        /// Echoed identifier of the expired probe.
+        id: u16,
+        /// Echoed sequence number of the expired probe.
+        seq: u16,
+    },
+}
+
+/// An IPv4 packet carrying ICMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Time-to-live. Routers decrement on forward and drop at zero;
+    /// layer-2 switches never touch it. The TTL observed by the paper's
+    /// LG servers is the responder's initial TTL minus the number of IP
+    /// hops on the reply path — the heart of the TTL-match filter.
+    pub ttl: u8,
+    /// The ICMP message carried.
+    pub payload: IcmpMessage,
+}
+
+/// Frame payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Address resolution.
+    Arp(ArpPacket),
+    /// An IPv4 packet.
+    Ipv4(Ipv4Packet),
+}
+
+/// An Ethernet-style frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Source hardware address.
+    pub src: MacAddr,
+    /// Destination hardware address ([`MacAddr::BROADCAST`] floods).
+    pub dst: MacAddr,
+    /// Carried payload.
+    pub payload: Payload,
+}
+
+impl Frame {
+    /// Nominal on-the-wire size in bytes, used by links with finite
+    /// bandwidth to compute serialization delay: Ethernet + ARP is a
+    /// minimum-size frame; ICMP echo carries the classic 56-byte ping
+    /// payload.
+    pub fn wire_size(&self) -> u32 {
+        match self.payload {
+            Payload::Arp(_) => 64,
+            Payload::Ipv4(_) => 98,
+        }
+    }
+
+    /// Build an ARP request asking who holds `target_ip`.
+    pub fn arp_request(sender_ip: Ipv4Addr, sender_mac: MacAddr, target_ip: Ipv4Addr) -> Frame {
+        Frame {
+            src: sender_mac,
+            dst: MacAddr::BROADCAST,
+            payload: Payload::Arp(ArpPacket {
+                op: ArpOp::Request,
+                sender_ip,
+                sender_mac,
+                target_ip,
+                target_mac: MacAddr([0; 6]),
+            }),
+        }
+    }
+
+    /// Build the ARP reply answering `req` on behalf of `ip`/`mac`.
+    pub fn arp_reply(req: &ArpPacket, ip: Ipv4Addr, mac: MacAddr) -> Frame {
+        Frame {
+            src: mac,
+            dst: req.sender_mac,
+            payload: Payload::Arp(ArpPacket {
+                op: ArpOp::Reply,
+                sender_ip: ip,
+                sender_mac: mac,
+                target_ip: req.sender_ip,
+                target_mac: req.sender_mac,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::from_index(3).is_broadcast());
+    }
+
+    #[test]
+    fn macs_from_distinct_indices_differ() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        // Locally administered, unicast.
+        assert_eq!(a.0[0] & 0x03, 0x02);
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([0x02, 0, 0, 0, 1, 0xAB]).to_string(),
+            "02:00:00:00:01:ab"
+        );
+    }
+
+    #[test]
+    fn arp_round_trip() {
+        let lg_ip: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let lg_mac = MacAddr::from_index(1);
+        let member_ip: Ipv4Addr = "10.0.0.7".parse().unwrap();
+        let member_mac = MacAddr::from_index(2);
+        let req = Frame::arp_request(lg_ip, lg_mac, member_ip);
+        assert!(req.dst.is_broadcast());
+        let Payload::Arp(arp) = req.payload else {
+            panic!()
+        };
+        assert_eq!(arp.op, ArpOp::Request);
+        let reply = Frame::arp_reply(&arp, member_ip, member_mac);
+        assert_eq!(reply.dst, lg_mac);
+        let Payload::Arp(rarp) = reply.payload else {
+            panic!()
+        };
+        assert_eq!(rarp.op, ArpOp::Reply);
+        assert_eq!(rarp.sender_ip, member_ip);
+        assert_eq!(rarp.sender_mac, member_mac);
+        assert_eq!(rarp.target_ip, lg_ip);
+    }
+}

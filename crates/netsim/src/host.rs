@@ -1,0 +1,400 @@
+//! A measurement host — the simulator's looking-glass server.
+//!
+//! The paper probes member interfaces "from LG servers that PCH and RIPE NCC
+//! maintain at IXP locations" (section 3.1). `Host` plays that role: it is
+//! attached to the IXP fabric with an address inside the IXP subnet, sends
+//! planned ICMP echo requests (resolving targets via ARP first), and records
+//! for every planned probe whether it was sent, the observed RTT, and — the
+//! detection-critical part — the TTL value carried by the reply.
+
+use crate::frame::{ArpOp, Frame, IcmpMessage, Ipv4Packet, MacAddr, Payload};
+use crate::sim::{Action, PortId};
+use rp_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What kind of ICMP message answered a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplyKind {
+    /// The destination answered (ping success / traceroute's final hop).
+    EchoReply,
+    /// An intermediate router's TTL-exceeded notice (a traceroute hop).
+    TimeExceeded,
+}
+
+/// A received ping reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingReply {
+    /// Round-trip time from echo-request transmission to reply arrival.
+    pub rtt: SimDuration,
+    /// TTL field of the reply as observed at the host. Equal to the
+    /// responder's initial TTL when the reply never crossed an IP hop.
+    pub ttl: u8,
+    /// Source address of the reply (may differ from the probed address when
+    /// the responder replies from another interface; for Time Exceeded it
+    /// is the intermediate router).
+    pub src: Ipv4Addr,
+    /// Echo reply or Time Exceeded.
+    pub kind: ReplyKind,
+}
+
+/// The outcome of one planned probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingOutcome {
+    /// Probed address.
+    pub target: Ipv4Addr,
+    /// TTL the probe was sent with (64 for plain pings; the hop number for
+    /// traceroute probes).
+    pub probe_ttl: u8,
+    /// When the probe was planned to fire.
+    pub planned_at: SimTime,
+    /// When the echo request actually left the host (`None` when ARP never
+    /// resolved — e.g. the registry listed an address nobody holds).
+    pub sent_at: Option<SimTime>,
+    /// The reply, if one came back.
+    pub reply: Option<PingReply>,
+}
+
+/// Looking-glass host state.
+#[derive(Debug)]
+pub struct Host {
+    iface: Option<(PortId, Ipv4Addr, MacAddr)>,
+    icmp_id: u16,
+    plans: Vec<(SimTime, Ipv4Addr, u8)>,
+    outcomes: Vec<PingOutcome>,
+    arp_cache: HashMap<Ipv4Addr, MacAddr>,
+    /// Plan indices waiting for ARP resolution of their target.
+    awaiting_arp: HashMap<Ipv4Addr, Vec<usize>>,
+    /// In-flight echo requests: sequence number → plan index.
+    inflight: HashMap<u16, usize>,
+    next_seq: u16,
+}
+
+impl Host {
+    /// A host that stamps its probes with `icmp_id`.
+    pub fn new(icmp_id: u16) -> Self {
+        Host {
+            iface: None,
+            icmp_id,
+            plans: Vec::new(),
+            outcomes: Vec::new(),
+            arp_cache: HashMap::new(),
+            awaiting_arp: HashMap::new(),
+            inflight: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Attach the host's single interface.
+    pub fn bind(&mut self, port: PortId, ip: Ipv4Addr, mac: MacAddr) {
+        self.iface = Some((port, ip, mac));
+    }
+
+    /// The host's address.
+    pub fn ip(&self) -> Option<Ipv4Addr> {
+        self.iface.map(|(_, ip, _)| ip)
+    }
+
+    /// Register a planned probe; returns the timer token the network must
+    /// schedule at `at`. (Use [`crate::Network::plan_ping`], which does
+    /// both.)
+    pub fn register_plan(&mut self, at: SimTime, target: Ipv4Addr) -> u64 {
+        self.register_probe(at, target, 64)
+    }
+
+    /// Register a probe with an explicit TTL (traceroute hops).
+    pub fn register_probe(&mut self, at: SimTime, target: Ipv4Addr, ttl: u8) -> u64 {
+        let token = self.plans.len() as u64;
+        self.plans.push((at, target, ttl));
+        self.outcomes.push(PingOutcome {
+            target,
+            probe_ttl: ttl,
+            planned_at: at,
+            sent_at: None,
+            reply: None,
+        });
+        token
+    }
+
+    /// Traceroute view: for each hop TTL probed toward `target`, the
+    /// responding address (a router's Time Exceeded or the destination's
+    /// echo reply), in ascending hop order.
+    pub fn traceroute_hops(&self, target: Ipv4Addr) -> Vec<(u8, Option<Ipv4Addr>)> {
+        let mut hops: Vec<(u8, Option<Ipv4Addr>)> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.target == target && o.probe_ttl != 64)
+            .map(|o| (o.probe_ttl, o.reply.map(|r| r.src)))
+            .collect();
+        hops.sort_by_key(|(ttl, _)| *ttl);
+        hops
+    }
+
+    /// All probe outcomes, in planning order. Valid after the simulation ran
+    /// past the planned times (unanswered probes simply keep `reply: None`).
+    pub fn outcomes(&self) -> &[PingOutcome] {
+        &self.outcomes
+    }
+
+    fn send_echo(&mut self, now: SimTime, plan_idx: usize, out: &mut Vec<Action>) {
+        let (port, ip, mac) = self.iface.expect("host bound");
+        let (_, target, probe_ttl) = self.plans[plan_idx];
+        let mac_target = match self.arp_cache.get(&target) {
+            Some(m) => *m,
+            None => return, // caller guarantees resolution; defensive
+        };
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.inflight.insert(seq, plan_idx);
+        self.outcomes[plan_idx].sent_at = Some(now);
+        out.push(Action::send(
+            port,
+            Frame {
+                src: mac,
+                dst: mac_target,
+                payload: Payload::Ipv4(Ipv4Packet {
+                    src: ip,
+                    dst: target,
+                    ttl: probe_ttl,
+                    payload: IcmpMessage::EchoRequest {
+                        id: self.icmp_id,
+                        seq,
+                    },
+                }),
+            },
+        ));
+    }
+
+    /// Timer fired for plan `token`: send the probe, ARPing first if needed.
+    pub fn on_timer(&mut self, now: SimTime, token: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        let plan_idx = token as usize;
+        let Some(&(_, target, _)) = self.plans.get(plan_idx) else {
+            return out;
+        };
+        if self.arp_cache.contains_key(&target) {
+            self.send_echo(now, plan_idx, &mut out);
+        } else {
+            let (port, ip, mac) = self.iface.expect("host bound");
+            let first = !self.awaiting_arp.contains_key(&target);
+            self.awaiting_arp.entry(target).or_default().push(plan_idx);
+            // Re-ARP on every new probe burst while unresolved, so a target
+            // that was down earlier can still resolve later in the campaign.
+            if first || self.awaiting_arp[&target].len() % 8 == 1 {
+                out.push(Action::send(port, Frame::arp_request(ip, mac, target)));
+            }
+        }
+        out
+    }
+
+    /// Handle an incoming frame.
+    pub fn on_frame(&mut self, now: SimTime, _port: PortId, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some((port, ip, mac)) = self.iface else {
+            return out;
+        };
+        match frame.payload {
+            Payload::Arp(arp) => match arp.op {
+                ArpOp::Request => {
+                    if arp.target_ip == ip {
+                        out.push(Action::send(port, Frame::arp_reply(&arp, ip, mac)));
+                    }
+                    self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+                }
+                ArpOp::Reply => {
+                    self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+                    if let Some(waiting) = self.awaiting_arp.remove(&arp.sender_ip) {
+                        for plan_idx in waiting {
+                            self.send_echo(now, plan_idx, &mut out);
+                        }
+                    }
+                }
+            },
+            Payload::Ipv4(pkt) => {
+                if pkt.dst != ip {
+                    return out;
+                }
+                match pkt.payload {
+                    IcmpMessage::EchoReply { id, seq } if id == self.icmp_id => {
+                        if let Some(plan_idx) = self.inflight.remove(&seq) {
+                            let sent = self.outcomes[plan_idx]
+                                .sent_at
+                                .expect("in-flight implies sent");
+                            self.outcomes[plan_idx].reply = Some(PingReply {
+                                rtt: now.since(sent),
+                                ttl: pkt.ttl,
+                                src: pkt.src,
+                                kind: ReplyKind::EchoReply,
+                            });
+                        }
+                    }
+                    IcmpMessage::TimeExceeded { id, seq, .. } if id == self.icmp_id => {
+                        if let Some(plan_idx) = self.inflight.remove(&seq) {
+                            let sent = self.outcomes[plan_idx]
+                                .sent_at
+                                .expect("in-flight implies sent");
+                            self.outcomes[plan_idx].reply = Some(PingReply {
+                                rtt: now.since(sent),
+                                ttl: pkt.ttl,
+                                src: pkt.src,
+                                kind: ReplyKind::TimeExceeded,
+                            });
+                        }
+                    }
+                    IcmpMessage::EchoRequest { id, seq } => {
+                        // Be a good citizen: answer pings aimed at us.
+                        out.push(Action::Send {
+                            port,
+                            frame: Frame {
+                                src: mac,
+                                dst: frame.src,
+                                payload: Payload::Ipv4(Ipv4Packet {
+                                    src: ip,
+                                    dst: pkt.src,
+                                    ttl: 64,
+                                    payload: IcmpMessage::EchoReply { id, seq },
+                                }),
+                            },
+                            after: SimDuration::from_micros(50),
+                        });
+                    }
+                    IcmpMessage::EchoReply { .. } | IcmpMessage::TimeExceeded { .. } => {
+                        // someone else's probes
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bound_host() -> (Host, Ipv4Addr, MacAddr) {
+        let mut h = Host::new(42);
+        let ip = "10.0.0.1".parse().unwrap();
+        let mac = MacAddr::from_index(1);
+        h.bind(PortId(0), ip, mac);
+        (h, ip, mac)
+    }
+
+    #[test]
+    fn probe_without_arp_sends_arp_first() {
+        let (mut h, _, _) = bound_host();
+        let target: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let token = h.register_plan(SimTime(100), target);
+        let acts = h.on_timer(SimTime(100), token);
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            Action::Send { frame, .. } => {
+                assert!(matches!(frame.payload, Payload::Arp(a) if a.op == ArpOp::Request));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(h.outcomes()[0].sent_at, None);
+    }
+
+    #[test]
+    fn arp_reply_flushes_pending_probes_and_reply_records_rtt_ttl() {
+        let (mut h, _my_ip, my_mac) = bound_host();
+        let target: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let t_mac = MacAddr::from_index(9);
+        let t0 = h.register_plan(SimTime(100), target);
+        let t1 = h.register_plan(SimTime(100), target);
+        h.on_timer(SimTime(100), t0);
+        h.on_timer(SimTime(100), t1);
+
+        // ARP reply at t=200 → both queued echoes go out.
+        let arp_reply = Frame {
+            src: t_mac,
+            dst: my_mac,
+            payload: Payload::Arp(crate::frame::ArpPacket {
+                op: ArpOp::Reply,
+                sender_ip: target,
+                sender_mac: t_mac,
+                target_ip: "10.0.0.1".parse().unwrap(),
+                target_mac: my_mac,
+            }),
+        };
+        let acts = h.on_frame(SimTime(200), PortId(0), arp_reply);
+        assert_eq!(acts.len(), 2);
+        assert_eq!(h.outcomes()[0].sent_at, Some(SimTime(200)));
+
+        // Echo reply for seq 0 arrives 1 ms later with TTL 255.
+        let reply = Frame {
+            src: t_mac,
+            dst: my_mac,
+            payload: Payload::Ipv4(Ipv4Packet {
+                src: target,
+                dst: "10.0.0.1".parse().unwrap(),
+                ttl: 255,
+                payload: IcmpMessage::EchoReply { id: 42, seq: 0 },
+            }),
+        };
+        h.on_frame(SimTime(200 + 1_000_000), PortId(0), reply);
+        let o = h.outcomes()[0];
+        let r = o.reply.expect("reply recorded");
+        assert_eq!(r.rtt, SimDuration::from_millis(1));
+        assert_eq!(r.ttl, 255);
+        assert_eq!(r.src, target);
+        // Second probe still unanswered.
+        assert!(h.outcomes()[1].reply.is_none());
+    }
+
+    #[test]
+    fn foreign_icmp_id_is_ignored() {
+        let (mut h, my_ip, my_mac) = bound_host();
+        let target: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let tok = h.register_plan(SimTime(0), target);
+        h.arp_cache.insert(target, MacAddr::from_index(9));
+        h.on_timer(SimTime(0), tok);
+        let reply = Frame {
+            src: MacAddr::from_index(9),
+            dst: my_mac,
+            payload: Payload::Ipv4(Ipv4Packet {
+                src: target,
+                dst: my_ip,
+                ttl: 255,
+                payload: IcmpMessage::EchoReply { id: 1, seq: 0 }, // wrong id
+            }),
+        };
+        h.on_frame(SimTime(500), PortId(0), reply);
+        assert!(h.outcomes()[0].reply.is_none());
+    }
+
+    #[test]
+    fn answers_arp_and_echo_requests() {
+        let (mut h, my_ip, _) = bound_host();
+        let req = Frame::arp_request("10.0.0.9".parse().unwrap(), MacAddr::from_index(9), my_ip);
+        assert_eq!(h.on_frame(SimTime(0), PortId(0), req).len(), 1);
+        let echo = Frame {
+            src: MacAddr::from_index(9),
+            dst: MacAddr::from_index(1),
+            payload: Payload::Ipv4(Ipv4Packet {
+                src: "10.0.0.9".parse().unwrap(),
+                dst: my_ip,
+                ttl: 33,
+                payload: IcmpMessage::EchoRequest { id: 5, seq: 5 },
+            }),
+        };
+        let acts = h.on_frame(SimTime(0), PortId(0), echo);
+        assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn unresolvable_target_never_sends() {
+        let (mut h, _, _) = bound_host();
+        let ghost: Ipv4Addr = "10.0.0.250".parse().unwrap();
+        for i in 0..5 {
+            let tok = h.register_plan(SimTime(i), ghost);
+            h.on_timer(SimTime(i), tok);
+        }
+        assert!(h
+            .outcomes()
+            .iter()
+            .all(|o| o.sent_at.is_none() && o.reply.is_none()));
+    }
+}

@@ -1,0 +1,716 @@
+//! The network container and event loop.
+//!
+//! `Network` owns every device, link, and pending event, and advances
+//! simulated time by draining the event queue. Determinism contract: the
+//! same construction sequence and seed produce the same event trace, frame
+//! for frame.
+
+use crate::event::{Event, EventQueue};
+use crate::frame::{Frame, MacAddr};
+use crate::host::Host;
+use crate::link::DelayModel;
+use crate::router::{Router, RouterBehavior};
+use crate::switch::Switch;
+use rand::rngs::StdRng;
+use rp_types::{seed, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Index of a node (device) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Index of a port on a node. Ports are allocated in [`Network::connect`]
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Index into per-port storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Something a device wants done after handling an event.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Transmit `frame` out of `port` after a local delay (processing time).
+    Send {
+        /// Egress port.
+        port: PortId,
+        /// Frame to transmit.
+        frame: Frame,
+        /// Local processing delay before the frame enters the link.
+        after: SimDuration,
+    },
+    /// Fire a timer for this device at absolute time `at`.
+    Schedule {
+        /// When the timer fires.
+        at: SimTime,
+        /// Opaque token handed back to the device.
+        token: u64,
+    },
+}
+
+impl Action {
+    /// A send with no local processing delay.
+    pub fn send(port: PortId, frame: Frame) -> Action {
+        Action::Send {
+            port,
+            frame,
+            after: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The device living at a node.
+#[derive(Debug)]
+pub enum Device {
+    /// A MAC-learning layer-2 switch.
+    Switch(Switch),
+    /// An IP router.
+    Router(Router),
+    /// A measurement host.
+    Host(Host),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Attachment {
+    far_node: NodeId,
+    far_port: PortId,
+    link: u32,
+    /// Which direction of the (full-duplex) link this side transmits on.
+    dir: u8,
+}
+
+#[derive(Debug)]
+struct Node {
+    device: Device,
+    ports: Vec<Attachment>,
+}
+
+#[derive(Debug)]
+struct Link {
+    delay: DelayModel,
+    rng: StdRng,
+    /// Per-direction transmit-queue horizon: the instant each direction's
+    /// line becomes idle (finite-bandwidth links only).
+    busy_until: [SimTime; 2],
+}
+
+/// A simulated network of switches, routers, and hosts.
+pub struct Network {
+    seed: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    queue: EventQueue,
+    now: SimTime,
+    next_mac: u64,
+    events_processed: u64,
+}
+
+impl Network {
+    /// An empty network. All per-device and per-link randomness derives from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            seed,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            next_mac: 1,
+            events_processed: 0,
+        }
+    }
+
+    fn add_node(&mut self, device: Device) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            device,
+            ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a MAC-learning layer-2 switch.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.add_node(Device::Switch(Switch::new()))
+    }
+
+    /// Add an IP router with the given responder behavior.
+    pub fn add_router(&mut self, behavior: RouterBehavior) -> NodeId {
+        self.add_node(Device::Router(Router::new(behavior)))
+    }
+
+    /// Add a measurement host. Its ICMP id is derived from the node index.
+    pub fn add_host(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.add_node(Device::Host(Host::new(0x4000 | id.0 as u16)))
+    }
+
+    /// Allocate a fresh unicast MAC address.
+    pub fn alloc_mac(&mut self) -> MacAddr {
+        let m = MacAddr::from_index(self.next_mac);
+        self.next_mac += 1;
+        m
+    }
+
+    /// Connect `a` and `b` with a link; returns the allocated port on each
+    /// side. Delay is sampled independently per traversal direction.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> (PortId, PortId) {
+        let link_idx = self.links.len() as u32;
+        let rng = seed::rng(self.seed, "link", link_idx as u64);
+        self.links.push(Link {
+            delay,
+            rng,
+            busy_until: [SimTime::ZERO; 2],
+        });
+        let pa = PortId(self.nodes[a.index()].ports.len() as u16);
+        let pb = PortId(self.nodes[b.index()].ports.len() as u16);
+        self.nodes[a.index()].ports.push(Attachment {
+            far_node: b,
+            far_port: pb,
+            link: link_idx,
+            dir: 0,
+        });
+        self.nodes[b.index()].ports.push(Attachment {
+            far_node: a,
+            far_port: pa,
+            link: link_idx,
+            dir: 1,
+        });
+        (pa, pb)
+    }
+
+    /// Mutable access to a router (panics if `id` is not a router).
+    pub fn router_mut(&mut self, id: NodeId) -> &mut Router {
+        match &mut self.nodes[id.index()].device {
+            Device::Router(r) => r,
+            other => panic!("{id} is not a router: {other:?}"),
+        }
+    }
+
+    /// Shared access to a host (panics if `id` is not a host).
+    pub fn host(&self, id: NodeId) -> &Host {
+        match &self.nodes[id.index()].device {
+            Device::Host(h) => h,
+            other => panic!("{id} is not a host: {other:?}"),
+        }
+    }
+
+    /// Mutable access to a host (panics if `id` is not a host).
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match &mut self.nodes[id.index()].device {
+            Device::Host(h) => h,
+            other => panic!("{id} is not a host: {other:?}"),
+        }
+    }
+
+    /// Bind a host interface on `port` with address `ip` (MAC allocated
+    /// internally).
+    pub fn bind_host(&mut self, host: NodeId, port: PortId, ip: Ipv4Addr) {
+        let mac = self.alloc_mac();
+        self.host_mut(host).bind(port, ip, mac);
+    }
+
+    /// Bind a router interface on `port` with address `ip` (MAC allocated
+    /// internally).
+    pub fn bind_router(&mut self, router: NodeId, port: PortId, ip: Ipv4Addr) {
+        let mac = self.alloc_mac();
+        self.router_mut(router).bind(port, ip, mac);
+    }
+
+    /// Plan a ping from `host` to `target` at absolute time `at`.
+    pub fn plan_ping(&mut self, host: NodeId, at: SimTime, target: Ipv4Addr) {
+        let token = self.host_mut(host).register_plan(at, target);
+        self.queue.push(at, Event::Timer { node: host, token });
+    }
+
+    /// Plan a traceroute: one probe per hop TTL `1..=max_ttl`, one second
+    /// apart, starting at `at`. Read the result with
+    /// [`Host::traceroute_hops`].
+    pub fn plan_traceroute(&mut self, host: NodeId, at: SimTime, target: Ipv4Addr, max_ttl: u8) {
+        for hop in 1..=max_ttl {
+            let t = at + SimDuration::from_secs(hop as u64 - 1);
+            let token = self.host_mut(host).register_probe(t, target, hop);
+            self.queue.push(t, Event::Timer { node: host, token });
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Run until the queue drains or the next event lies beyond `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) {
+        while let Some((at, event)) = self.queue.pop() {
+            self.now = at;
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        self.events_processed += 1;
+        let (node_id, actions) = match event {
+            Event::FrameArrival { node, port, frame } => {
+                let n_ports = self.nodes[node.index()].ports.len() as u16;
+                let now = self.now;
+                let node_ref = &mut self.nodes[node.index()];
+                let actions = match &mut node_ref.device {
+                    Device::Switch(sw) => sw.on_frame(port, n_ports, frame),
+                    Device::Router(r) => {
+                        let mut rng = seed::rng(self.seed, "router-frame", {
+                            // Derive a per-event RNG from (node, event count)
+                            // so device behavior stays deterministic and
+                            // independent of unrelated devices.
+                            (node.0 as u64) << 40 | self.events_processed
+                        });
+                        r.on_frame(now, port, frame, &mut rng)
+                    }
+                    Device::Host(h) => h.on_frame(now, port, frame),
+                };
+                (node, actions)
+            }
+            Event::Timer { node, token } => {
+                let now = self.now;
+                let actions = match &mut self.nodes[node.index()].device {
+                    Device::Host(h) => h.on_timer(now, token),
+                    _ => Vec::new(),
+                };
+                (node, actions)
+            }
+        };
+        for action in actions {
+            match action {
+                Action::Send { port, frame, after } => {
+                    let Some(att) = self.nodes[node_id.index()].ports.get(port.index()).copied()
+                    else {
+                        continue; // unconnected port: drop
+                    };
+                    let ready = self.now + after;
+                    let link = &mut self.links[att.link as usize];
+                    // Finite-bandwidth links serialize frames through a
+                    // per-direction FIFO: transmission starts when both the
+                    // frame and the line are ready.
+                    let tx_time = link.delay.serialization(frame.wire_size());
+                    let dir = att.dir as usize;
+                    let start = ready.max(link.busy_until[dir]);
+                    let tx_done = start + tx_time;
+                    link.busy_until[dir] = tx_done;
+                    let delay = link.delay.sample(start, &mut link.rng);
+                    self.queue.push(
+                        tx_done + delay,
+                        Event::FrameArrival {
+                            node: att.far_node,
+                            port: att.far_port,
+                            frame,
+                        },
+                    );
+                }
+                Action::Schedule { at, token } => {
+                    self.queue.push(
+                        at,
+                        Event::Timer {
+                            node: node_id,
+                            token,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::CongestionEpisode;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// The Figure 1 scene: an LG server and a direct member on the IXP
+    /// fabric, plus a remote member reaching the fabric through a two-switch
+    /// layer-2 pseudowire spanning real distance.
+    struct Figure1 {
+        net: Network,
+        lg: NodeId,
+        direct_ip: Ipv4Addr,
+        remote_ip: Ipv4Addr,
+    }
+
+    fn figure1(seed: u64) -> Figure1 {
+        let mut net = Network::new(seed);
+        let fabric = net.add_switch();
+
+        // LG server in the IXP subnet.
+        let lg = net.add_host();
+        let (_, lg_port) = net.connect(fabric, lg, DelayModel::with_one_way_ms(0.05));
+        net.bind_host(lg, lg_port, ip("10.0.0.1"));
+
+        // Direct member: colo cross-connect, ~0.4 ms one way.
+        let direct = net.add_router(RouterBehavior {
+            initial_ttl: 255,
+            ..Default::default()
+        });
+        let (_, dp) = net.connect(fabric, direct, DelayModel::with_one_way_ms(0.4));
+        net.bind_router(direct, dp, ip("10.0.0.10"));
+
+        // Remote member: provider switch at the IXP, long-haul span,
+        // provider switch at the member metro, member access link.
+        let prov_ixp = net.add_switch();
+        let prov_far = net.add_switch();
+        net.connect(fabric, prov_ixp, DelayModel::with_one_way_ms(0.05));
+        net.connect(prov_ixp, prov_far, DelayModel::with_one_way_ms(12.0)); // ~2,400 km
+        let remote = net.add_router(RouterBehavior {
+            initial_ttl: 64,
+            ..Default::default()
+        });
+        let (_, rp) = net.connect(prov_far, remote, DelayModel::with_one_way_ms(0.3));
+        net.bind_router(remote, rp, ip("10.0.0.20"));
+
+        Figure1 {
+            net,
+            lg,
+            direct_ip: ip("10.0.0.10"),
+            remote_ip: ip("10.0.0.20"),
+        }
+    }
+
+    fn ping_n(net: &mut Network, lg: NodeId, target: Ipv4Addr, n: u32) {
+        for k in 0..n {
+            let at = SimTime::ZERO + SimDuration::from_secs(1 + k as u64);
+            net.plan_ping(lg, at, target);
+        }
+    }
+
+    #[test]
+    fn direct_member_answers_fast_with_max_ttl() {
+        let mut f = figure1(1);
+        ping_n(&mut f.net, f.lg, f.direct_ip, 5);
+        f.net.run_to_completion();
+        let outs: Vec<_> = f
+            .net
+            .host(f.lg)
+            .outcomes()
+            .iter()
+            .filter(|o| o.target == f.direct_ip)
+            .collect();
+        assert_eq!(outs.len(), 5);
+        for o in outs {
+            let r = o.reply.expect("direct member replies");
+            assert_eq!(r.ttl, 255, "no IP hop on the reply path");
+            let ms = r.rtt.as_millis_f64();
+            assert!((0.8..3.0).contains(&ms), "direct RTT {ms} ms");
+        }
+    }
+
+    #[test]
+    fn remote_member_keeps_max_ttl_but_shows_distance() {
+        let mut f = figure1(2);
+        ping_n(&mut f.net, f.lg, f.remote_ip, 5);
+        f.net.run_to_completion();
+        let min_rtt = f
+            .net
+            .host(f.lg)
+            .outcomes()
+            .iter()
+            .filter(|o| o.target == f.remote_ip)
+            .filter_map(|o| o.reply)
+            .map(|r| {
+                assert_eq!(r.ttl, 64, "pseudowire is pure layer 2");
+                r.rtt
+            })
+            .min()
+            .expect("remote member replies");
+        let ms = min_rtt.as_millis_f64();
+        assert!(
+            (24.0..30.0).contains(&ms),
+            "remote RTT {ms} ms reflects geography"
+        );
+    }
+
+    #[test]
+    fn extra_ip_hop_decrements_reply_ttl() {
+        // Registry-stale scenario: the probed address actually lives on an
+        // inner router one IP hop behind the fabric-facing front router.
+        let mut net = Network::new(3);
+        let fabric = net.add_switch();
+        let lg = net.add_host();
+        let (_, lgp) = net.connect(fabric, lg, DelayModel::with_one_way_ms(0.05));
+        net.bind_host(lg, lgp, ip("10.0.0.1"));
+
+        let target = ip("10.0.0.30");
+        let front = net.add_router(RouterBehavior::default());
+        let (_, f_fab) = net.connect(fabric, front, DelayModel::with_one_way_ms(0.3));
+        net.bind_router(front, f_fab, ip("10.0.0.31"));
+        let inner = net.add_router(RouterBehavior {
+            initial_ttl: 255,
+            ..Default::default()
+        });
+        let (f_in, i_port) = net.connect(front, inner, DelayModel::with_one_way_ms(1.0));
+        net.bind_router(front, f_in, ip("192.168.0.1"));
+        net.bind_router(inner, i_port, target);
+
+        let front_r = net.router_mut(front);
+        front_r.add_proxy_arp(f_fab, target);
+        front_r.add_route(target, f_in);
+        front_r.set_default_route(f_fab);
+        net.router_mut(inner).set_default_route(i_port);
+        net.router_mut(inner).set_proxy_arp_all(i_port);
+        // The inner router routes replies back via the front router; the
+        // front router proxy-answers ARP on the inner segment.
+        net.router_mut(front).set_proxy_arp_all(f_in);
+
+        for k in 0..6 {
+            net.plan_ping(lg, SimTime::ZERO + SimDuration::from_secs(k), target);
+        }
+        net.run_to_completion();
+        let replies: Vec<_> = net
+            .host(lg)
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.reply)
+            .collect();
+        assert!(!replies.is_empty(), "gadget must answer");
+        for r in replies {
+            assert_eq!(r.ttl, 254, "one forwarding hop eats one TTL");
+        }
+    }
+
+    #[test]
+    fn congestion_episode_inflates_rtt_but_min_recovers() {
+        let mut net = Network::new(4);
+        let fabric = net.add_switch();
+        let lg = net.add_host();
+        let (_, lgp) = net.connect(fabric, lg, DelayModel::with_one_way_ms(0.05));
+        net.bind_host(lg, lgp, ip("10.0.0.1"));
+        let member = net.add_router(RouterBehavior {
+            initial_ttl: 255,
+            ..Default::default()
+        });
+        let episode = CongestionEpisode {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::from_secs(100),
+            extra_mean_ms: 40.0,
+        };
+        let (_, mp) = net.connect(
+            fabric,
+            member,
+            DelayModel::with_one_way_ms(0.4).with_episode(episode),
+        );
+        net.bind_router(member, mp, ip("10.0.0.10"));
+
+        // Probes both during and after the congestion window.
+        for k in 0..5 {
+            net.plan_ping(
+                lg,
+                SimTime::ZERO + SimDuration::from_secs(10 + k),
+                ip("10.0.0.10"),
+            );
+        }
+        for k in 0..5 {
+            net.plan_ping(
+                lg,
+                SimTime::ZERO + SimDuration::from_secs(200 + k),
+                ip("10.0.0.10"),
+            );
+        }
+        net.run_to_completion();
+        let rtts: Vec<f64> = net
+            .host(lg)
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.reply)
+            .map(|r| r.rtt.as_millis_f64())
+            .collect();
+        assert_eq!(rtts.len(), 10);
+        let during_max = rtts[..5].iter().cloned().fold(0.0, f64::max);
+        let after_min = rtts[5..].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(during_max > 5.0, "congestion visible: max {during_max} ms");
+        assert!(after_min < 3.0, "min-RTT recovers: {after_min} ms");
+    }
+
+    #[test]
+    fn finite_bandwidth_serializes_back_to_back_frames() {
+        // A 1 Mbps member access link: a 98-byte ping takes 784 µs on the
+        // wire, so five pings fired simultaneously drain as a FIFO and the
+        // k-th reply is delayed by ~k·784 µs of queueing on the request
+        // direction.
+        let mut net = Network::new(11);
+        let fabric = net.add_switch();
+        let lg = net.add_host();
+        let (_, lgp) = net.connect(fabric, lg, DelayModel::ideal(SimDuration::from_micros(5)));
+        net.bind_host(lg, lgp, ip("10.0.0.1"));
+        let member = net.add_router(RouterBehavior {
+            initial_ttl: 255,
+            proc_delay_us: (10, 10),
+            ..Default::default()
+        });
+        let (_, mp) = net.connect(
+            fabric,
+            member,
+            DelayModel::ideal(SimDuration::from_micros(50)).with_bandwidth_mbps(1.0),
+        );
+        net.bind_router(member, mp, ip("10.0.0.10"));
+        // Resolve ARP first so the burst is pure echo traffic.
+        net.plan_ping(
+            lg,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            ip("10.0.0.10"),
+        );
+        for _ in 0..5 {
+            net.plan_ping(
+                lg,
+                SimTime::ZERO + SimDuration::from_secs(2),
+                ip("10.0.0.10"),
+            );
+        }
+        net.run_to_completion();
+        let rtts: Vec<f64> = net
+            .host(lg)
+            .outcomes()
+            .iter()
+            .skip(1)
+            .filter_map(|o| o.reply)
+            .map(|r| r.rtt.as_millis_f64())
+            .collect();
+        assert_eq!(rtts.len(), 5);
+        // Strictly increasing queueing delay across the burst...
+        for w in rtts.windows(2) {
+            assert!(
+                w[1] > w[0] + 0.5,
+                "queueing must separate replies: {rtts:?}"
+            );
+        }
+        // ... by roughly one serialization time (0.784 ms) per position.
+        let spread = rtts[4] - rtts[0];
+        assert!(
+            (2.5..5.0).contains(&spread),
+            "spread {spread} ms over the burst"
+        );
+    }
+
+    #[test]
+    fn unconstrained_links_do_not_queue() {
+        let mut net = Network::new(12);
+        let fabric = net.add_switch();
+        let lg = net.add_host();
+        let (_, lgp) = net.connect(fabric, lg, DelayModel::ideal(SimDuration::from_micros(5)));
+        net.bind_host(lg, lgp, ip("10.0.0.1"));
+        let member = net.add_router(RouterBehavior {
+            initial_ttl: 255,
+            proc_delay_us: (10, 10),
+            ..Default::default()
+        });
+        let (_, mp) = net.connect(
+            fabric,
+            member,
+            DelayModel::ideal(SimDuration::from_micros(50)),
+        );
+        net.bind_router(member, mp, ip("10.0.0.10"));
+        net.plan_ping(
+            lg,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            ip("10.0.0.10"),
+        );
+        for _ in 0..5 {
+            net.plan_ping(
+                lg,
+                SimTime::ZERO + SimDuration::from_secs(2),
+                ip("10.0.0.10"),
+            );
+        }
+        net.run_to_completion();
+        let rtts: Vec<f64> = net
+            .host(lg)
+            .outcomes()
+            .iter()
+            .skip(1)
+            .filter_map(|o| o.reply)
+            .map(|r| r.rtt.as_millis_f64())
+            .collect();
+        let spread = rtts.iter().cloned().fold(0.0, f64::max)
+            - rtts.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread < 0.01,
+            "no queueing without a capacity: spread {spread} ms"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_outcomes() {
+        let run = |seed| {
+            let mut f = figure1(seed);
+            ping_n(&mut f.net, f.lg, f.direct_ip, 8);
+            ping_n(&mut f.net, f.lg, f.remote_ip, 8);
+            f.net.run_to_completion();
+            f.net.host(f.lg).outcomes().to_vec()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut f = figure1(5);
+        ping_n(&mut f.net, f.lg, f.direct_ip, 5); // at t = 1..5 s
+        f.net
+            .run_until(SimTime::ZERO + SimDuration::from_millis(1_500));
+        let answered = f
+            .net
+            .host(f.lg)
+            .outcomes()
+            .iter()
+            .filter(|o| o.reply.is_some())
+            .count();
+        assert_eq!(answered, 1, "only the first probe fits before the deadline");
+        f.net.run_to_completion();
+        let answered = f
+            .net
+            .host(f.lg)
+            .outcomes()
+            .iter()
+            .filter(|o| o.reply.is_some())
+            .count();
+        assert_eq!(answered, 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! A transparent MAC-learning layer-2 switch.
+//!
+//! Switches are the invisible middlemen of the paper: IXP fabrics and
+//! remote-peering pseudowires are built from them, and because a switch
+//! never touches the IP header, traffic crossing half the planet through
+//! one arrives with its TTL intact — indistinguishable on layer 3 from a
+//! local hop. That invisibility is the phenomenon under study.
+
+use crate::frame::Frame;
+use crate::sim::{Action, PortId};
+use std::collections::HashMap;
+
+/// MAC-learning switch state.
+#[derive(Debug, Default)]
+pub struct Switch {
+    table: HashMap<crate::frame::MacAddr, PortId>,
+}
+
+impl Switch {
+    /// A switch with an empty MAC table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle a frame arriving on `in_port` of a switch with `n_ports`
+    /// ports: learn the source, then forward (unicast if known, flood
+    /// otherwise). Frames are forwarded unmodified — no TTL decrement, no
+    /// address rewrite.
+    pub fn on_frame(&mut self, in_port: PortId, n_ports: u16, frame: Frame) -> Vec<Action> {
+        self.table.insert(frame.src, in_port);
+        match self.table.get(&frame.dst) {
+            Some(&out) if !frame.dst.is_broadcast() => {
+                if out == in_port {
+                    // Destination lives where the frame came from; drop.
+                    Vec::new()
+                } else {
+                    vec![Action::send(out, frame)]
+                }
+            }
+            _ => (0..n_ports)
+                .map(PortId)
+                .filter(|p| *p != in_port)
+                .map(|p| Action::send(p, frame))
+                .collect(),
+        }
+    }
+
+    /// Number of learned MAC entries (diagnostics).
+    pub fn learned(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, IcmpMessage, Ipv4Packet, MacAddr, Payload};
+
+    fn frame(src: u64, dst: MacAddr) -> Frame {
+        Frame {
+            src: MacAddr::from_index(src),
+            dst,
+            payload: Payload::Ipv4(Ipv4Packet {
+                src: "10.0.0.1".parse().unwrap(),
+                dst: "10.0.0.2".parse().unwrap(),
+                ttl: 64,
+                payload: IcmpMessage::EchoRequest { id: 1, seq: 1 },
+            }),
+        }
+    }
+
+    fn out_ports(actions: &[Action]) -> Vec<u16> {
+        actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { port, .. } => port.0,
+                _ => panic!("switch only sends"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn floods_unknown_destination() {
+        let mut sw = Switch::new();
+        let acts = sw.on_frame(PortId(0), 4, frame(1, MacAddr::from_index(9)));
+        assert_eq!(out_ports(&acts), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn floods_broadcast() {
+        let mut sw = Switch::new();
+        let acts = sw.on_frame(PortId(2), 4, frame(1, MacAddr::BROADCAST));
+        assert_eq!(out_ports(&acts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn learns_and_unicasts() {
+        let mut sw = Switch::new();
+        // A talks from port 0; B replies from port 3.
+        sw.on_frame(PortId(0), 4, frame(1, MacAddr::BROADCAST));
+        let acts = sw.on_frame(PortId(3), 4, frame(2, MacAddr::from_index(1)));
+        assert_eq!(out_ports(&acts), vec![0]);
+        assert_eq!(sw.learned(), 2);
+    }
+
+    #[test]
+    fn drops_frame_hairpinning_to_ingress() {
+        let mut sw = Switch::new();
+        sw.on_frame(PortId(1), 4, frame(1, MacAddr::BROADCAST));
+        let acts = sw.on_frame(PortId(1), 4, frame(2, MacAddr::from_index(1)));
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn forwarding_preserves_payload_exactly() {
+        let mut sw = Switch::new();
+        let f = frame(1, MacAddr::from_index(9));
+        let acts = sw.on_frame(PortId(0), 2, f);
+        match &acts[0] {
+            Action::Send { frame: out, .. } => assert_eq!(*out, f),
+            _ => panic!(),
+        }
+    }
+}

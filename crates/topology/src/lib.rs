@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # rp-topology
+//!
+//! Synthetic AS-level Internet topology — the substrate the paper takes for
+//! granted by measuring the real Internet.
+//!
+//! The generator produces a topology with the structural properties the
+//! paper's studies depend on:
+//!
+//! - a **tier-1 clique** at the top of the transit hierarchy (RedIRIS buys
+//!   transit from two tier-1 providers; no network sells transit to them);
+//! - a **provider–customer DAG** below it, so customer cones are well
+//!   defined (peering exchanges traffic of the peers *and their customer
+//!   cones*, section 2.2);
+//! - **organizations** that may own several ASNs (the paper notes ASes are
+//!   imperfect proxies of organizations);
+//! - per-AS **geography** (home city / PoPs) so that remote peering has a
+//!   distance to be detected over;
+//! - per-AS **peering policies** (open / selective / restrictive) with
+//!   PeeringDB-like skews by network type, feeding the four peer groups of
+//!   section 4.2;
+//! - per-AS **address space** summing to ≈2.6 billion interfaces, the
+//!   figure 10 denominator.
+
+pub mod cone;
+pub mod generate;
+pub mod model;
+
+pub use cone::NetworkSet;
+pub use generate::{generate, TopologyConfig};
+pub use model::{AsNode, AsType, Org, PeeringPolicy, Relationship, Topology};

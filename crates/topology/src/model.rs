@@ -1,0 +1,458 @@
+//! The topology data model: ASes, organizations, relationships.
+
+use rp_types::geo::City;
+use rp_types::{Asn, NetworkId, OrgId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Business type of a network. Types drive policy priors, traffic shape,
+/// address-space size, and IXP membership propensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsType {
+    /// Settlement-free top of the transit hierarchy.
+    Tier1,
+    /// Regional / national transit provider.
+    Transit,
+    /// Eyeball / access network serving residential users.
+    Access,
+    /// Content provider (originates traffic).
+    Content,
+    /// Content delivery network (originates traffic from many PoPs).
+    Cdn,
+    /// Hosting / cloud provider.
+    Hosting,
+    /// National research and education network (RedIRIS is one).
+    Nren,
+    /// Enterprise stub network.
+    Enterprise,
+}
+
+impl AsType {
+    /// All variants, for iteration in generators and reports.
+    pub const ALL: [AsType; 8] = [
+        AsType::Tier1,
+        AsType::Transit,
+        AsType::Access,
+        AsType::Content,
+        AsType::Cdn,
+        AsType::Hosting,
+        AsType::Nren,
+        AsType::Enterprise,
+    ];
+}
+
+impl fmt::Display for AsType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsType::Tier1 => "tier1",
+            AsType::Transit => "transit",
+            AsType::Access => "access",
+            AsType::Content => "content",
+            AsType::Cdn => "cdn",
+            AsType::Hosting => "hosting",
+            AsType::Nren => "nren",
+            AsType::Enterprise => "enterprise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Peering policy as self-reported in PeeringDB-like registries
+/// (section 2.2: open / selective / restrictive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PeeringPolicy {
+    /// Peers with everyone (often automatically via IXP route servers).
+    Open,
+    /// Peers when conditions are met.
+    Selective,
+    /// Stringent terms, rarely peers.
+    Restrictive,
+}
+
+impl fmt::Display for PeeringPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PeeringPolicy::Open => "open",
+            PeeringPolicy::Selective => "selective",
+            PeeringPolicy::Restrictive => "restrictive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Economic relationship on an inter-AS edge, from the perspective of the
+/// edge's stored orientation `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` sells transit to `b` (`a` is the provider).
+    ProviderOf,
+    /// Settlement-free peering between `a` and `b`.
+    PeerOf,
+}
+
+/// One inter-AS edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint (the provider for [`Relationship::ProviderOf`]).
+    pub a: NetworkId,
+    /// Second endpoint (the customer for [`Relationship::ProviderOf`]).
+    pub b: NetworkId,
+    /// Economic relationship of the pair.
+    pub rel: Relationship,
+}
+
+/// An organization owning one or more ASNs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Org {
+    /// Organization id (dense index).
+    pub id: OrgId,
+    /// Display name.
+    pub name: String,
+    /// Networks owned by this organization.
+    pub networks: Vec<NetworkId>,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    /// Dense topology index.
+    pub id: NetworkId,
+    /// The network's autonomous system number.
+    pub asn: Asn,
+    /// Owning organization.
+    pub org: OrgId,
+    /// Business type.
+    pub kind: AsType,
+    /// Self-reported peering policy.
+    pub policy: PeeringPolicy,
+    /// Index of the home city in [`rp_types::geo::WORLD_CITIES`].
+    pub home_city: u16,
+    /// Number of IP interfaces the network (and only it, not its cone)
+    /// is responsible for — the figure 10 unit.
+    pub address_space: u64,
+    /// Market prominence: a heavy-tailed size proxy that couples a
+    /// network's traffic volume with its interconnection appetite. The big
+    /// content players send the most bytes *and* sit at the most IXPs —
+    /// the correlation that concentrates offload potential at the largest
+    /// exchanges (figures 7–9).
+    pub prominence: f64,
+    /// Generation depth in the transit hierarchy: 0 for tier-1, strictly
+    /// increasing toward the leaves. Providers always have a smaller level
+    /// than their customers, which is what makes the customer graph a DAG.
+    pub level: u8,
+}
+
+/// A generated AS-level topology.
+///
+/// Adjacency is stored twice (edge list + per-AS lists) because BGP wants
+/// per-AS neighbor iteration while serialization and invariant checks want
+/// the flat list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// All autonomous systems, indexed by [`NetworkId`].
+    pub ases: Vec<AsNode>,
+    /// All organizations, indexed by [`rp_types::OrgId`].
+    pub orgs: Vec<Org>,
+    /// Flat edge list (each AS pair appears at most once).
+    pub edges: Vec<Edge>,
+    providers: Vec<Vec<NetworkId>>,
+    customers: Vec<Vec<NetworkId>>,
+    peers: Vec<Vec<NetworkId>>,
+}
+
+impl Topology {
+    /// Assemble a topology from nodes, orgs, and edges, building the per-AS
+    /// adjacency lists. Panics if an edge references an unknown AS; the
+    /// generator is the only intended caller.
+    pub fn assemble(ases: Vec<AsNode>, orgs: Vec<Org>, edges: Vec<Edge>) -> Self {
+        let n = ases.len();
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        for e in &edges {
+            assert!(
+                e.a.index() < n && e.b.index() < n,
+                "edge references unknown AS"
+            );
+            match e.rel {
+                Relationship::ProviderOf => {
+                    customers[e.a.index()].push(e.b);
+                    providers[e.b.index()].push(e.a);
+                }
+                Relationship::PeerOf => {
+                    peers[e.a.index()].push(e.b);
+                    peers[e.b.index()].push(e.a);
+                }
+            }
+        }
+        Topology {
+            ases,
+            orgs,
+            edges,
+            providers,
+            customers,
+            peers,
+        }
+    }
+
+    /// Number of ASes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// True when the topology holds no ASes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ases.is_empty()
+    }
+
+    /// The AS with the given id.
+    #[inline]
+    pub fn node(&self, id: NetworkId) -> &AsNode {
+        &self.ases[id.index()]
+    }
+
+    /// Transit providers of `id`.
+    #[inline]
+    pub fn providers(&self, id: NetworkId) -> &[NetworkId] {
+        &self.providers[id.index()]
+    }
+
+    /// Transit customers of `id`.
+    #[inline]
+    pub fn customers(&self, id: NetworkId) -> &[NetworkId] {
+        &self.customers[id.index()]
+    }
+
+    /// Settlement-free peers of `id`.
+    #[inline]
+    pub fn peers(&self, id: NetworkId) -> &[NetworkId] {
+        &self.peers[id.index()]
+    }
+
+    /// Iterate over all network ids.
+    pub fn ids(&self) -> impl Iterator<Item = NetworkId> + '_ {
+        (0..self.ases.len() as u32).map(NetworkId)
+    }
+
+    /// All networks of a given type.
+    pub fn of_type(&self, kind: AsType) -> impl Iterator<Item = &AsNode> + '_ {
+        self.ases.iter().filter(move |a| a.kind == kind)
+    }
+
+    /// Map an ASN to its network id. ASNs are unique per topology snapshot.
+    pub fn by_asn(&self, asn: Asn) -> Option<NetworkId> {
+        self.ases.iter().find(|a| a.asn == asn).map(|a| a.id)
+    }
+
+    /// Total address space over all ASes (the figure 10 "2.6 billion IP
+    /// interfaces reachable through the transit hierarchy").
+    pub fn total_address_space(&self) -> u64 {
+        self.ases.iter().map(|a| a.address_space).sum()
+    }
+
+    /// Check structural invariants; returns a human-readable violation list
+    /// (empty when sound). Used by tests and by the generator's own
+    /// post-conditions.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        // Provider levels strictly below customer levels — guarantees a DAG.
+        for e in &self.edges {
+            if e.rel == Relationship::ProviderOf {
+                let (p, c) = (self.node(e.a), self.node(e.b));
+                if p.level >= c.level {
+                    problems.push(format!(
+                        "provider {} (level {}) not above customer {} (level {})",
+                        p.asn, p.level, c.asn, c.level
+                    ));
+                }
+            }
+            if e.a == e.b {
+                problems.push(format!("self-loop at {}", self.node(e.a).asn));
+            }
+        }
+        // Tier-1s have no providers; everyone else has at least one.
+        for a in &self.ases {
+            let np = self.providers(a.id).len();
+            match a.kind {
+                AsType::Tier1 => {
+                    if np != 0 {
+                        problems.push(format!("{} is tier-1 but has providers", a.asn));
+                    }
+                }
+                _ => {
+                    if np == 0 {
+                        problems.push(format!("{} ({}) has no providers", a.asn, a.kind));
+                    }
+                }
+            }
+        }
+        // Org back-references are consistent.
+        for org in &self.orgs {
+            for &n in &org.networks {
+                if self.node(n).org != org.id {
+                    problems.push(format!("org {} lists {} which points elsewhere", org.id, n));
+                }
+            }
+        }
+        // At most one relationship per AS pair.
+        let mut pairs: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.a.0.min(e.b.0), e.a.0.max(e.b.0)))
+            .collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            if w[0] == w[1] {
+                problems.push(format!(
+                    "duplicate relationship between N{} and N{}",
+                    w[0].0, w[0].1
+                ));
+            }
+        }
+        // ASNs unique.
+        let mut asns: Vec<u32> = self.ases.iter().map(|a| a.asn.0).collect();
+        asns.sort_unstable();
+        let unique = {
+            let mut v = asns.clone();
+            v.dedup();
+            v.len()
+        };
+        if unique != asns.len() {
+            problems.push("duplicate ASNs".into());
+        }
+        problems
+    }
+
+    /// Home city of a network, resolved against the world city database.
+    pub fn home_city(&self, id: NetworkId) -> City {
+        rp_types::geo::WORLD_CITIES[self.node(id).home_city as usize]
+    }
+
+    /// Add a settlement-free peering edge between `a` and `b`.
+    ///
+    /// Returns `false` (and changes nothing) when the pair already holds a
+    /// relationship of any kind or when `a == b` — an AS pair carries at
+    /// most one relationship. Used by scenario builders to wire a study
+    /// network's pre-existing peerings (home-IXP members, CDNs, backbone
+    /// partners) into a generated topology.
+    pub fn add_peering(&mut self, a: NetworkId, b: NetworkId) -> bool {
+        if a == b
+            || self.providers(a).contains(&b)
+            || self.customers(a).contains(&b)
+            || self.peers(a).contains(&b)
+        {
+            return false;
+        }
+        self.edges.push(Edge {
+            a,
+            b,
+            rel: Relationship::PeerOf,
+        });
+        self.peers[a.index()].push(b);
+        self.peers[b.index()].push(a);
+        true
+    }
+
+    /// Relocate a network's home city (scenario builders pin the study
+    /// network to its real location).
+    pub fn set_home_city(&mut self, id: NetworkId, city_index: u16) {
+        self.ases[id.index()].home_city = city_index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        // AS0 (tier1) -> AS1 (transit) -> AS2 (stub); AS1 peers AS3.
+        let mk = |i: u32, kind, level| AsNode {
+            id: NetworkId(i),
+            asn: Asn(64_000 + i),
+            org: OrgId(i),
+            kind,
+            policy: PeeringPolicy::Open,
+            home_city: 0,
+            address_space: 10,
+            prominence: 1.0,
+            level,
+        };
+        let ases = vec![
+            mk(0, AsType::Tier1, 0),
+            mk(1, AsType::Transit, 1),
+            mk(2, AsType::Enterprise, 2),
+            mk(3, AsType::Content, 2),
+        ];
+        let orgs = (0..4)
+            .map(|i| Org {
+                id: OrgId(i),
+                name: format!("org{i}"),
+                networks: vec![NetworkId(i)],
+            })
+            .collect();
+        let edges = vec![
+            Edge {
+                a: NetworkId(0),
+                b: NetworkId(1),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(1),
+                b: NetworkId(2),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(0),
+                b: NetworkId(3),
+                rel: Relationship::ProviderOf,
+            },
+            Edge {
+                a: NetworkId(1),
+                b: NetworkId(3),
+                rel: Relationship::PeerOf,
+            },
+        ];
+        Topology::assemble(ases, orgs, edges)
+    }
+
+    #[test]
+    fn adjacency_lists_are_built() {
+        let t = tiny();
+        assert_eq!(t.customers(NetworkId(0)), &[NetworkId(1), NetworkId(3)]);
+        assert_eq!(t.providers(NetworkId(2)), &[NetworkId(1)]);
+        assert_eq!(t.peers(NetworkId(1)), &[NetworkId(3)]);
+        assert_eq!(t.peers(NetworkId(3)), &[NetworkId(1)]);
+        assert!(t.peers(NetworkId(0)).is_empty());
+    }
+
+    #[test]
+    fn tiny_topology_is_valid() {
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_level_inversion() {
+        let mut t = tiny();
+        t.ases[1].level = 0; // transit at tier-1 level: provider edge 0->1 inverts
+        assert!(!t.validate().is_empty());
+    }
+
+    #[test]
+    fn lookup_by_asn() {
+        let t = tiny();
+        assert_eq!(t.by_asn(Asn(64_002)), Some(NetworkId(2)));
+        assert_eq!(t.by_asn(Asn(1)), None);
+    }
+
+    #[test]
+    fn totals_and_type_iteration() {
+        let t = tiny();
+        assert_eq!(t.total_address_space(), 40);
+        assert_eq!(t.of_type(AsType::Tier1).count(), 1);
+        assert_eq!(t.of_type(AsType::Nren).count(), 0);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+}

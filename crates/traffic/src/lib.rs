@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # rp-traffic
+//!
+//! The NetFlow substrate: a statistically faithful stand-in for the one
+//! month of 5-minute-granularity traffic data the paper collected at the
+//! border routers of RedIRIS (section 4.1).
+//!
+//! Four pieces:
+//!
+//! - [`model`] — per-network average contributions to the study network's
+//!   transit-provider traffic: a rank-size curve with the power-law body,
+//!   the figure 5a "bend" near rank ~20,000 / ~100 bps, and type-aware
+//!   placement (CDNs and content networks at the top, enterprises in the
+//!   tail);
+//! - [`series`] — the temporal dimension: diurnal cycles phased by each
+//!   network's longitude (time zone), weekday/weekend modulation, and
+//!   multiplicative noise, aggregated exactly by phase bucket so a month of
+//!   29k-network traffic aggregates in milliseconds (figure 5b);
+//! - [`netflow`] — flow records, the 5-minute collector, and 95th-percentile
+//!   billing (the charge model of section 2.1);
+//! - [`roles`] — origin / destination / transient attribution along
+//!   forward AS paths (figure 6).
+
+pub mod model;
+pub mod netflow;
+pub mod roles;
+pub mod series;
+
+pub use model::{contributions, Contributions, TrafficConfig};
+pub use netflow::{percentile_95, FlowCollector, FlowRecord};
+pub use roles::{transient_rates, RoleSplit};
+pub use series::{aggregate_series, SeriesParams, BINS_PER_DAY};

@@ -1,0 +1,121 @@
+//! Flow-role attribution: origin, destination, transient.
+//!
+//! Section 4.1 classifies the traffic flows associated with a network as its
+//! origin traffic (originated in the network), destination traffic
+//! (terminated there), or transient traffic (passing through). Figure 6
+//! splits the top offload contributors along exactly this line and finds
+//! that for most of them origin/destination traffic dominates transient —
+//! i.e. the big contributors are content sources, not intermediaries.
+
+use rp_bgp::RoutingView;
+use rp_types::{Bps, NetworkId};
+use serde::{Deserialize, Serialize};
+
+/// A network's traffic split by role.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoleSplit {
+    /// Traffic the network originates (inbound direction) or terminates
+    /// (outbound direction).
+    pub endpoint: Bps,
+    /// Traffic that merely passes through the network on its way to/from
+    /// the study network.
+    pub transient: Bps,
+}
+
+/// Attribute endpoint and transient rates along forward paths.
+///
+/// `rates[i]` is the average rate the study network exchanges with network
+/// `i` as the *far endpoint* (origin of inbound traffic or destination of
+/// outbound traffic). For every contributing endpoint, each intermediate AS
+/// on the forward path accumulates the flow as transient traffic.
+///
+/// Returns per-network splits indexed by `NetworkId`.
+pub fn transient_rates(view: &RoutingView, rates: &[Bps]) -> Vec<RoleSplit> {
+    let n = rates.len();
+    let mut out = vec![RoleSplit::default(); n];
+    for (idx, &rate) in rates.iter().enumerate() {
+        if rate.0 <= 0.0 {
+            continue;
+        }
+        let endpoint = NetworkId(idx as u32);
+        out[idx].endpoint += rate;
+        if let Some(path) = view.forward_path(endpoint) {
+            // path = [first hop, ..., endpoint]; everything before the
+            // endpoint is an intermediary.
+            for hop in &path[..path.len().saturating_sub(1)] {
+                out[hop.index()].transient += rate;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_topology::{generate, AsType, TopologyConfig};
+
+    #[test]
+    fn endpoints_and_intermediaries_split_correctly() {
+        let topo = generate(&TopologyConfig::test_scale(61));
+        let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, vantage);
+
+        // One contributing endpoint with a known rate.
+        let endpoint = topo
+            .ids()
+            .find(|&id| id != vantage && view.path_len(id).map(|l| l >= 3).unwrap_or(false))
+            .expect("some multi-hop destination exists");
+        let mut rates = vec![Bps::ZERO; topo.len()];
+        rates[endpoint.index()] = Bps::from_mbps(100.0);
+
+        let splits = transient_rates(&view, &rates);
+        assert_eq!(splits[endpoint.index()].endpoint, Bps::from_mbps(100.0));
+        assert_eq!(splits[endpoint.index()].transient, Bps::ZERO);
+
+        let path = view.forward_path(endpoint).unwrap();
+        for hop in &path[..path.len() - 1] {
+            assert_eq!(
+                splits[hop.index()].transient,
+                Bps::from_mbps(100.0),
+                "{hop}"
+            );
+            assert_eq!(splits[hop.index()].endpoint, Bps::ZERO);
+        }
+        // The vantage itself is not on the forward path.
+        assert_eq!(splits[vantage.index()].transient, Bps::ZERO);
+    }
+
+    #[test]
+    fn transit_providers_accumulate_many_flows() {
+        let topo = generate(&TopologyConfig::test_scale(61));
+        let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, vantage);
+        let rates: Vec<Bps> = topo
+            .ids()
+            .map(|id| if id != vantage { Bps(1.0) } else { Bps::ZERO })
+            .collect();
+        let splits = transient_rates(&view, &rates);
+        // The vantage's transit providers carry nearly all flows.
+        let max_transient = topo
+            .providers(vantage)
+            .iter()
+            .map(|p| splits[p.index()].transient.0)
+            .fold(0.0, f64::max);
+        assert!(
+            max_transient > topo.len() as f64 * 0.2,
+            "a transit provider carries a big share: {max_transient}"
+        );
+    }
+
+    #[test]
+    fn zero_rates_produce_zero_splits() {
+        let topo = generate(&TopologyConfig::test_scale(61));
+        let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, vantage);
+        let splits = transient_rates(&view, &vec![Bps::ZERO; topo.len()]);
+        assert!(splits
+            .iter()
+            .all(|s| s.endpoint == Bps::ZERO && s.transient == Bps::ZERO));
+    }
+}

@@ -1,0 +1,246 @@
+//! Temporal traffic structure: one month at 5-minute granularity.
+//!
+//! Figure 5b shows the transit traffic of RedIRIS over ~8,600 five-minute
+//! bins with pronounced daily and weekly periodicity, and shows that the
+//! offload-potential series peaks *together with* the total — the fact that
+//! makes offloading reduce 95th-percentile transit bills.
+//!
+//! Model: `rate(t) = avg · diurnal(t − phase) · weekly(t) · noise(t)` where
+//! each network's diurnal phase comes from its home-city longitude (time
+//! zone). Aggregating thousands of networks naively would cost
+//! networks × bins evaluations; instead networks are bucketed by phase
+//! (longitude is the only per-network temporal parameter), which makes
+//! aggregation exact for the deterministic part and cheap.
+
+use rp_types::geo::WORLD_CITIES;
+use rp_types::{dist, seed, Bps};
+use serde::{Deserialize, Serialize};
+
+/// Five-minute bins per day.
+pub const BINS_PER_DAY: usize = 288;
+
+/// Parameters of the temporal model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesParams {
+    /// Seed for the noise stream.
+    pub seed: u64,
+    /// Number of 5-minute bins (default: 30 days).
+    pub bins: usize,
+    /// Peak-to-mean diurnal amplitude (0 = flat, 0.45 ≈ eyeball-driven).
+    pub diurnal_amplitude: f64,
+    /// Weekend attenuation factor.
+    pub weekend_factor: f64,
+    /// Local hour of the daily peak.
+    pub peak_hour: f64,
+    /// Standard deviation of the multiplicative log-normal noise applied to
+    /// the aggregate per bin.
+    pub noise_sigma: f64,
+}
+
+impl Default for SeriesParams {
+    fn default() -> Self {
+        SeriesParams {
+            seed: 0,
+            bins: 30 * BINS_PER_DAY,
+            diurnal_amplitude: 0.45,
+            weekend_factor: 0.72,
+            peak_hour: 20.0,
+            noise_sigma: 0.05,
+        }
+    }
+}
+
+/// Deterministic diurnal factor for UTC bin `bin` and a time-zone offset of
+/// `tz_hours`.
+fn diurnal(params: &SeriesParams, bin: usize, tz_hours: f64) -> f64 {
+    let hour_utc = (bin % BINS_PER_DAY) as f64 * 24.0 / BINS_PER_DAY as f64;
+    let local = hour_utc + tz_hours;
+    let angle = (local - params.peak_hour) / 24.0 * std::f64::consts::TAU;
+    1.0 + params.diurnal_amplitude * angle.cos()
+}
+
+/// Weekday/weekend factor; the month starts on a Monday.
+fn weekly(params: &SeriesParams, bin: usize) -> f64 {
+    let day = (bin / BINS_PER_DAY) % 7;
+    if day >= 5 {
+        params.weekend_factor
+    } else {
+        1.0
+    }
+}
+
+/// Crude time zone from longitude (15° per hour).
+fn tz_hours(lon_deg: f64) -> f64 {
+    (lon_deg / 15.0).round()
+}
+
+/// Aggregate a set of per-network average rates into a time series.
+///
+/// `rates_with_city` pairs each contributing network's average rate with its
+/// home-city index. Exact phase-bucket aggregation: all networks in the same
+/// time zone share a diurnal curve, so the aggregate is a weighted sum of at
+/// most 24 curves, plus one aggregate-level noise stream.
+pub fn aggregate_series(
+    rates_with_city: impl Iterator<Item = (Bps, u16)>,
+    params: &SeriesParams,
+) -> Vec<Bps> {
+    // Bucket mass by integer time zone (-12..=14 → indices 0..27).
+    let mut mass = [0.0f64; 27];
+    for (rate, city_idx) in rates_with_city {
+        let tz = tz_hours(WORLD_CITIES[city_idx as usize].location.lon_deg);
+        let idx = (tz as i32 + 12).clamp(0, 26) as usize;
+        mass[idx] += rate.0;
+    }
+    let mut rng = seed::rng(params.seed, "series-noise", 0);
+    (0..params.bins)
+        .map(|bin| {
+            let det: f64 = mass
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| **m > 0.0)
+                .map(|(idx, m)| m * diurnal(params, bin, idx as f64 - 12.0))
+                .sum::<f64>()
+                * weekly(params, bin);
+            let noise = if params.noise_sigma > 0.0 {
+                dist::log_normal(&mut rng, 0.0, params.noise_sigma)
+            } else {
+                1.0
+            };
+            Bps(det * noise)
+        })
+        .collect()
+}
+
+/// Exact single-network series (for small scenes and NetFlow demos):
+/// per-bin multiplicative noise on top of the deterministic shape.
+pub fn network_series(avg: Bps, city_idx: u16, net_seed: u64, params: &SeriesParams) -> Vec<Bps> {
+    let tz = tz_hours(WORLD_CITIES[city_idx as usize].location.lon_deg);
+    let mut rng = seed::rng(params.seed, "net-series", net_seed);
+    (0..params.bins)
+        .map(|bin| {
+            let det = avg.0 * diurnal(params, bin, tz) * weekly(params, bin);
+            Bps(det * dist::log_normal(&mut rng, 0.0, 0.25))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_types::geo::try_city;
+
+    fn city_idx(name: &str) -> u16 {
+        let c = try_city(name).unwrap();
+        WORLD_CITIES.iter().position(|w| w.name == c.name).unwrap() as u16
+    }
+
+    #[test]
+    fn diurnal_peaks_at_local_peak_hour() {
+        let p = SeriesParams::default();
+        // Madrid is UTC+0 by the 15°-rule (lon −3.7°).
+        let series = aggregate_series(
+            std::iter::once((Bps(1e9), city_idx("Madrid"))),
+            &SeriesParams {
+                noise_sigma: 0.0,
+                bins: BINS_PER_DAY,
+                ..p
+            },
+        );
+        let peak_bin = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_hour = peak_bin as f64 * 24.0 / BINS_PER_DAY as f64;
+        assert!((peak_hour - 20.0).abs() < 1.0, "peak at {peak_hour}h");
+    }
+
+    #[test]
+    fn weekends_dip() {
+        let p = SeriesParams {
+            noise_sigma: 0.0,
+            bins: 7 * BINS_PER_DAY,
+            ..Default::default()
+        };
+        let series = aggregate_series(std::iter::once((Bps(1e9), 0)), &p);
+        let day_avg = |d: usize| {
+            series[d * BINS_PER_DAY..(d + 1) * BINS_PER_DAY]
+                .iter()
+                .map(|b| b.0)
+                .sum::<f64>()
+                / BINS_PER_DAY as f64
+        };
+        assert!(day_avg(5) < day_avg(2) * 0.85, "Saturday below Wednesday");
+        assert!(day_avg(6) < day_avg(1) * 0.85, "Sunday below Tuesday");
+    }
+
+    #[test]
+    fn aggregate_mean_preserves_mass() {
+        let p = SeriesParams {
+            noise_sigma: 0.0,
+            bins: 7 * BINS_PER_DAY,
+            ..Default::default()
+        };
+        let series = aggregate_series(
+            vec![
+                (Bps(2e9), city_idx("Madrid")),
+                (Bps(1e9), city_idx("Tokyo")),
+            ]
+            .into_iter(),
+            &p,
+        );
+        let mean = series.iter().map(|b| b.0).sum::<f64>() / series.len() as f64;
+        // Mean over whole weeks: diurnal integrates to 1, weekly to
+        // (5 + 2·0.72)/7 = 0.92.
+        let expected = 3e9 * (5.0 + 2.0 * 0.72) / 7.0;
+        assert!(
+            (mean - expected).abs() / expected < 0.01,
+            "{mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn different_time_zones_peak_at_different_utc_bins() {
+        let p = SeriesParams {
+            noise_sigma: 0.0,
+            bins: BINS_PER_DAY,
+            ..Default::default()
+        };
+        let peak_of = |city: &str| {
+            let s = aggregate_series(std::iter::once((Bps(1e9), city_idx(city))), &p);
+            s.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let madrid = peak_of("Madrid");
+        let tokyo = peak_of("Tokyo");
+        assert_ne!(madrid, tokyo);
+        // Tokyo (UTC+9) peaks ~9h earlier in UTC.
+        let diff_hours = ((madrid as i64 - tokyo as i64).rem_euclid(BINS_PER_DAY as i64)) as f64
+            * 24.0
+            / BINS_PER_DAY as f64;
+        assert!((diff_hours - 9.0).abs() < 1.5, "{diff_hours}");
+    }
+
+    #[test]
+    fn series_is_deterministic() {
+        let p = SeriesParams {
+            seed: 7,
+            ..Default::default()
+        };
+        let a = aggregate_series(std::iter::once((Bps(1e9), 0)), &p);
+        let b = aggregate_series(std::iter::once((Bps(1e9), 0)), &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn network_series_has_month_length_and_positive_rates() {
+        let p = SeriesParams::default();
+        let s = network_series(Bps(1e6), 0, 42, &p);
+        assert_eq!(s.len(), 30 * BINS_PER_DAY);
+        assert!(s.iter().all(|b| b.0 > 0.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on the traffic substrate.
+
+use proptest::prelude::*;
+use rp_bgp::RoutingView;
+use rp_topology::{generate, AsType, TopologyConfig};
+use rp_traffic::model::{contributions, TrafficConfig};
+use rp_traffic::netflow::percentile_95;
+use rp_traffic::roles::transient_rates;
+use rp_traffic::series::{aggregate_series, SeriesParams, BINS_PER_DAY};
+use rp_types::Bps;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn totals_always_match_targets(seed in any::<u64>(), gbps_in in 0.5f64..20.0, gbps_out in 0.5f64..20.0) {
+        let topo = generate(&TopologyConfig::test_scale(seed));
+        let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, vantage);
+        let cfg = TrafficConfig {
+            seed,
+            total_inbound: Bps::from_gbps(gbps_in),
+            total_outbound: Bps::from_gbps(gbps_out),
+            ..Default::default()
+        };
+        let c = contributions(&topo, &view, &cfg);
+        prop_assert!((c.total_inbound().as_gbps() - gbps_in).abs() < 1e-6);
+        prop_assert!((c.total_outbound().as_gbps() - gbps_out).abs() < 1e-6);
+        // Non-negative everywhere.
+        prop_assert!(c.inbound.iter().all(|b| b.0 >= 0.0));
+        prop_assert!(c.outbound.iter().all(|b| b.0 >= 0.0));
+    }
+
+    #[test]
+    fn percentile_95_is_order_statistic_sane(
+        rates in proptest::collection::vec(0.0f64..1e9, 1..500),
+    ) {
+        let series: Vec<Bps> = rates.iter().map(|r| Bps(*r)).collect();
+        let p95 = percentile_95(&series);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(p95.0 <= max + 1e-9);
+        prop_assert!(p95.0 >= min - 1e-9);
+        // At most 5% of samples exceed the billing rate.
+        let above = rates.iter().filter(|r| **r > p95.0).count();
+        prop_assert!(above as f64 <= 0.05 * rates.len() as f64 + 1.0);
+    }
+
+    #[test]
+    fn aggregate_series_preserves_weekly_mass(
+        seed in any::<u64>(),
+        mass_gbps in 0.1f64..50.0,
+        city in 0u16..60,
+    ) {
+        let params = SeriesParams {
+            seed,
+            bins: 7 * BINS_PER_DAY,
+            noise_sigma: 0.0,
+            ..Default::default()
+        };
+        let series = aggregate_series(
+            std::iter::once((Bps::from_gbps(mass_gbps), city)),
+            &params,
+        );
+        let mean = series.iter().map(|b| b.0).sum::<f64>() / series.len() as f64;
+        let expected = mass_gbps * 1e9 * (5.0 + 2.0 * params.weekend_factor) / 7.0;
+        prop_assert!((mean - expected).abs() / expected < 0.01, "{mean} vs {expected}");
+    }
+
+    #[test]
+    fn transient_mass_is_bounded_by_path_lengths(seed in any::<u64>()) {
+        let topo = generate(&TopologyConfig::test_scale(seed));
+        let vantage = topo.of_type(AsType::Nren).next().unwrap().id;
+        let view = RoutingView::new(&topo, vantage);
+        let rates: Vec<Bps> = topo
+            .ids()
+            .map(|id| if id == vantage { Bps::ZERO } else { Bps(1.0) })
+            .collect();
+        let splits = transient_rates(&view, &rates);
+        let endpoint_total: f64 = splits.iter().map(|s| s.endpoint.0).sum();
+        let transient_total: f64 = splits.iter().map(|s| s.transient.0).sum();
+        let max_hops = topo
+            .ids()
+            .filter_map(|id| view.path_len(id))
+            .max()
+            .unwrap_or(0) as f64;
+        prop_assert!((endpoint_total - (topo.len() - 1) as f64).abs() < 1e-6);
+        // Each unit flow contributes at most (path_len - 1) transient units.
+        prop_assert!(transient_total <= endpoint_total * max_hops);
+    }
+}

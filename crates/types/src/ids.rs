@@ -1,0 +1,141 @@
+//! Strongly-typed identifiers.
+//!
+//! Raw integers are easy to transpose (an ASN is not an IXP index); newtypes
+//! make every cross-subsystem interface self-documenting and let the compiler
+//! reject category errors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Autonomous System Number.
+///
+/// ASNs identify networks as economic/routing entities on layer 3. The paper
+/// identifies probed IXP-subnet interfaces by mapping their IP addresses to
+/// ASNs (section 3.1, "Identification of networks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Dense index of a network (AS) inside a generated topology.
+///
+/// `NetworkId` is an array index, not an ASN: generators hand out ASNs with
+/// gaps and reassignments (the ASN-change filter needs those), while
+/// `NetworkId` stays stable for the lifetime of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// Index into a per-network slice.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Dense index of an organization. One organization may own several ASes
+/// (the paper notes ASes are imperfect proxies of organizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORG{}", self.0)
+    }
+}
+
+/// Dense index of an IXP in a scenario's IXP registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IxpId(pub u32);
+
+impl IxpId {
+    /// Index into a per-IXP slice.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IxpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IXP{}", self.0)
+    }
+}
+
+/// Identifier of one member IP interface in one IXP subnet.
+///
+/// The unit of measurement in section 3 is the *interface*, not the network:
+/// a network peering at five IXPs contributes five interfaces, and a network
+/// may even hold several interfaces in a single IXP subnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InterfaceId {
+    /// The IXP whose subnet hosts the interface.
+    pub ixp: IxpId,
+    /// Position of the interface within that IXP's interface table.
+    pub slot: u32,
+}
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/if{}", self.ixp, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Asn(64500).to_string(), "AS64500");
+        assert_eq!(NetworkId(7).to_string(), "N7");
+        assert_eq!(OrgId(3).to_string(), "ORG3");
+        assert_eq!(IxpId(2).to_string(), "IXP2");
+        assert_eq!(
+            InterfaceId {
+                ixp: IxpId(2),
+                slot: 11
+            }
+            .to_string(),
+            "IXP2/if11"
+        );
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for slot in 0..10 {
+            for ixp in 0..4 {
+                set.insert(InterfaceId {
+                    ixp: IxpId(ixp),
+                    slot,
+                });
+            }
+        }
+        assert_eq!(set.len(), 40);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = InterfaceId {
+            ixp: IxpId(1),
+            slot: 9,
+        };
+        let b = InterfaceId {
+            ixp: IxpId(2),
+            slot: 0,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # rp-types
+//!
+//! Foundation crate for the `remote-peering` workspace: strongly-typed
+//! identifiers, physical units, simulated time, geography, and the random
+//! distributions shared by every substrate.
+//!
+//! Everything in this workspace is deterministic: randomness flows from a
+//! single master seed through the [`seed`] module's mixing functions, so the
+//! same configuration always reproduces the same world, the same probing
+//! campaign, and the same experiment output.
+
+pub mod dist;
+pub mod geo;
+pub mod ids;
+pub mod seed;
+pub mod time;
+pub mod units;
+
+pub use geo::{Continent, GeoPoint};
+pub use ids::{Asn, InterfaceId, IxpId, NetworkId, OrgId};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bps, Millis};

@@ -1,0 +1,215 @@
+//! Physical units: traffic rates and delay magnitudes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A traffic rate in bits per second.
+///
+/// Stored as `f64`: the studied rates span nine decades (figure 5a plots
+/// contributions from ~10 bps to ~1 Gbps on a log axis), far past what makes
+/// sense to track in integer bits.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Bps(pub f64);
+
+impl Bps {
+    /// Zero traffic.
+    pub const ZERO: Bps = Bps(0.0);
+
+    /// From gigabits per second.
+    #[inline]
+    pub fn from_gbps(g: f64) -> Self {
+        Bps(g * 1e9)
+    }
+
+    /// From megabits per second.
+    #[inline]
+    pub fn from_mbps(m: f64) -> Self {
+        Bps(m * 1e6)
+    }
+
+    /// As gigabits per second.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// As megabits per second.
+    #[inline]
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Fraction of `total` that `self` represents, in [0, 1]; zero when the
+    /// total is zero (an empty traffic mix offloads nothing).
+    #[inline]
+    pub fn fraction_of(self, total: Bps) -> f64 {
+        if total.0 <= 0.0 {
+            0.0
+        } else {
+            (self.0 / total.0).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, other: Bps) -> Bps {
+        Bps(self.0.max(other.0))
+    }
+
+    /// True unless the value overflowed or went NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Bps {
+    type Output = Bps;
+    #[inline]
+    fn add(self, rhs: Bps) -> Bps {
+        Bps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bps {
+    type Output = Bps;
+    /// Saturating at zero: offload arithmetic repeatedly subtracts realized
+    /// potential from remaining traffic, and floating-point residue must not
+    /// produce a negative rate.
+    #[inline]
+    fn sub(self, rhs: Bps) -> Bps {
+        Bps((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Bps {
+    type Output = Bps;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bps {
+        Bps(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bps {
+    type Output = Bps;
+    #[inline]
+    fn div(self, rhs: f64) -> Bps {
+        Bps(self.0 / rhs)
+    }
+}
+
+impl Sum for Bps {
+    fn sum<I: Iterator<Item = Bps>>(iter: I) -> Bps {
+        iter.fold(Bps::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v >= 1e12 {
+            write!(f, "{:.2} Tbps", v / 1e12)
+        } else if v >= 1e9 {
+            write!(f, "{:.2} Gbps", v / 1e9)
+        } else if v >= 1e6 {
+            write!(f, "{:.2} Mbps", v / 1e6)
+        } else if v >= 1e3 {
+            write!(f, "{:.2} Kbps", v / 1e3)
+        } else {
+            write!(f, "{:.0} bps", v)
+        }
+    }
+}
+
+/// A delay magnitude in milliseconds — the unit of every threshold in the
+/// paper (10 ms remoteness, 20 ms inter-country, 50 ms inter-continental,
+/// the 5 ms consistency bound).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Millis(pub f64);
+
+impl Millis {
+    /// Zero delay.
+    pub const ZERO: Millis = Millis(0.0);
+
+    /// Pointwise minimum.
+    #[inline]
+    pub fn min(self, other: Millis) -> Millis {
+        Millis(self.0.min(other.0))
+    }
+
+    /// Pointwise maximum.
+    #[inline]
+    pub fn max(self, other: Millis) -> Millis {
+        Millis(self.0.max(other.0))
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    #[inline]
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Millis {
+    type Output = Millis;
+    #[inline]
+    fn mul(self, rhs: f64) -> Millis {
+        Millis(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bps::from_gbps(1.5).0, 1.5e9);
+        assert_eq!(Bps::from_mbps(2.0).0, 2e6);
+        assert!((Bps(2.5e9).as_gbps() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(Bps(3.0) - Bps(5.0), Bps::ZERO);
+        assert_eq!(Bps(5.0) - Bps(3.0), Bps(2.0));
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(Bps(5.0).fraction_of(Bps::ZERO), 0.0);
+        assert!((Bps(1.0).fraction_of(Bps(4.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Bps = (1..=4).map(|i| Bps(i as f64)).sum();
+        assert_eq!(total, Bps(10.0));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Bps(5.48e12).to_string(), "5.48 Tbps");
+        assert_eq!(Bps(1.6e9).to_string(), "1.60 Gbps");
+        assert_eq!(Bps(230e6).to_string(), "230.00 Mbps");
+        assert_eq!(Bps(100.0).to_string(), "100 bps");
+        assert_eq!(Millis(10.0).to_string(), "10.000 ms");
+    }
+}

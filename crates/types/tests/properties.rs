@@ -1,0 +1,80 @@
+//! Property-based tests on the foundation types.
+
+use proptest::prelude::*;
+use rp_types::dist;
+use rp_types::geo::{GeoPoint, EARTH_RADIUS_KM};
+use rp_types::seed;
+use rp_types::{Bps, SimDuration, SimTime};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.0f64..89.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.distance_km(b);
+        let ba = b.distance_km(a);
+        prop_assert!((ab - ba).abs() < 1e-6, "symmetry");
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6, "half circumference bound");
+        // Triangle inequality (great-circle distance is a metric).
+        let ac = a.distance_km(c);
+        let cb = c.distance_km(b);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle: {ab} > {ac} + {cb}");
+    }
+
+    #[test]
+    fn fiber_delay_monotone_in_distance(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let (d1, d2) = (a.distance_km(b), a.distance_km(c));
+        let (t1, t2) = (a.fiber_delay_ms(b), a.fiber_delay_ms(c));
+        if d1 < d2 {
+            prop_assert!(t1 <= t2 + 1e-9);
+        }
+        prop_assert!(t1 >= 0.0);
+    }
+
+    #[test]
+    fn seed_derivation_never_collides_across_domains(master in any::<u64>(), index in 0u64..1_000) {
+        let a = seed::derive(master, "alpha", index);
+        let b = seed::derive(master, "beta", index);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bps_subtraction_saturates_and_fraction_bounded(x in 0.0f64..1e12, y in 0.0f64..1e12) {
+        let diff = Bps(x) - Bps(y);
+        prop_assert!(diff.0 >= 0.0);
+        let f = Bps(x).fraction_of(Bps(y));
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..1u64 << 40, d in 0u64..1u64 << 30) {
+        let t = SimTime(a) + SimDuration(d);
+        prop_assert_eq!(t.since(SimTime(a)), SimDuration(d));
+        prop_assert_eq!(SimTime(a).since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pareto_respects_scale(seed in any::<u64>(), x_min in 0.1f64..10.0, alpha in 0.3f64..3.0) {
+        let mut rng = seed::rng(seed, "prop", 0);
+        for _ in 0..50 {
+            let x = dist::pareto(&mut rng, x_min, alpha);
+            prop_assert!(x >= x_min);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        let mut rng = seed::rng(seed, "prop-w", 1);
+        match dist::weighted_index(&mut rng, &weights) {
+            Some(i) => prop_assert!(weights[i] > 0.0),
+            None => prop_assert!(weights.iter().all(|w| *w <= 0.0)),
+        }
+    }
+}

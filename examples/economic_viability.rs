@@ -1,0 +1,113 @@
+//! The section 5 economic model: when does remote peering pay?
+//!
+//! ```text
+//! cargo run --release --example economic_viability
+//! ```
+//!
+//! Sweeps the decay parameter `b` (how quickly extra IXPs stop helping) and
+//! the cost structure, printing the optimal direct/remote IXP counts
+//! (eqs. 11 and 13) and the viability condition (eq. 14), then connects the
+//! model back to the measurements by fitting `b` to a simulated offload
+//! curve, exactly as section 5.1 fits the RedIRIS data.
+
+use remote_peering::econ::{
+    fit_decay, optimal_direct, optimal_remote, viability_margin, viable, CostParams,
+};
+use remote_peering::offload::{OffloadStudy, PeerGroup};
+use remote_peering::world::{World, WorldConfig};
+
+fn main() {
+    let base = CostParams::example();
+    base.validate()
+        .expect("example parameters respect ineqs. 7-8");
+    println!(
+        "cost structure: transit p={}, direct peering u={} per unit + g={} per IXP, \
+         remote peering v={} per unit + h={} per IXP",
+        base.p, base.u, base.v, base.g, base.h
+    );
+
+    println!(
+        "\n{:>6} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "b", "n~", "d~", "m~", "margin", "viable"
+    );
+    for b in [0.1, 0.25, 0.4, 0.55, 0.7, 0.9, 1.2, 1.6, 2.2] {
+        let p = CostParams { b, ..base };
+        let d = optimal_direct(&p);
+        let r = optimal_remote(&p);
+        println!(
+            "{b:>6.2} {:>8.2} {:>8.3} {:>8.2} {:>10.3} {:>8}",
+            d.n,
+            d.d,
+            r.m,
+            viability_margin(&p),
+            viable(&p),
+        );
+    }
+    let boundary = (base.g * (base.p - base.v) / (base.h * (base.p - base.u))).ln();
+    println!(
+        "\neq. 14 boundary: remote peering is viable exactly when b <= {boundary:.3} \
+         (networks with globally spread traffic)"
+    );
+
+    // The African-market argument (section 5.2): little local offload
+    // opportunity (h << g) and expensive transit make remote peering the
+    // only economical path to the big exchanges.
+    let dense = CostParams {
+        p: 1.0,
+        u: 0.3,
+        v: 0.6,
+        g: 0.1,
+        h: 0.07,
+        b: 1.0,
+    };
+    let sparse = CostParams {
+        p: 2.4,
+        u: 0.3,
+        v: 0.6,
+        g: 0.45,
+        h: 0.05,
+        b: 1.0,
+    };
+    println!(
+        "\ndense interconnection market:  margin {:.2} -> viable: {}",
+        viability_margin(&dense),
+        viable(&dense)
+    );
+    println!(
+        "sparse interconnection market: margin {:.2} -> viable: {} (h << g, expensive transit)",
+        viability_margin(&sparse),
+        viable(&sparse)
+    );
+
+    // Close the loop with section 4: fit b to a simulated offload curve.
+    println!("\nfitting t = e^(-b k) to a simulated greedy offload curve...");
+    let world = World::build(&WorldConfig::test_scale(11));
+    let study = OffloadStudy::new(&world);
+    let total = (world.contributions.total_inbound() + world.contributions.total_outbound()).0;
+    let steps = study.greedy(PeerGroup::All, 12);
+    let floor = steps
+        .last()
+        .map(|s| (s.remaining_in + s.remaining_out).0)
+        .unwrap_or(0.0);
+    let offloadable = (total - floor).max(1e-9);
+    let fractions: Vec<f64> = std::iter::once(1.0)
+        .chain(
+            steps
+                .iter()
+                .map(|s| ((s.remaining_in + s.remaining_out).0 - floor).max(0.0) / offloadable),
+        )
+        .collect();
+    match fit_decay(&fractions) {
+        Some(fit) => println!(
+            "fitted b = {:.3} (R^2 in log space: {:.3}); at that b the model says m~ = {:.2}",
+            fit.b,
+            fit.r_squared,
+            optimal_remote(&CostParams {
+                b: fit.b.max(0.01),
+                ..base
+            })
+            .m
+        ),
+        None => println!("curve too short to fit"),
+    }
+}

@@ -1,0 +1,103 @@
+//! The section 4 offload study in miniature: how much transit traffic can a
+//! RedIRIS-like NREN shift to (remote) peering?
+//!
+//! ```text
+//! cargo run --release --example offload_study [--paper]
+//! ```
+//!
+//! By default this runs at test scale (seconds); pass `--paper` for the
+//! full ~31k-AS world the `repro` binary uses.
+
+use remote_peering::offload::{GreedyMetric, OffloadStudy, PeerGroup};
+use remote_peering::report::pct;
+use remote_peering::types::IxpId;
+use remote_peering::world::{World, WorldConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let cfg = if paper {
+        WorldConfig::paper_scale(42)
+    } else {
+        WorldConfig::test_scale(42)
+    };
+    let world = World::build(&cfg);
+    let study = OffloadStudy::new(&world);
+
+    let total = world.contributions.total_inbound() + world.contributions.total_outbound();
+    println!(
+        "study network {} sends/receives {} of transit traffic with {} networks",
+        world.topology.node(world.vantage).asn,
+        total,
+        world.contributions.contributors(),
+    );
+
+    // Candidate peers after the paper's exclusion rules, per peer group.
+    for group in PeerGroup::ALL {
+        println!(
+            "peer group [{}]: {} candidate networks across 65 IXPs",
+            group.label(),
+            study.candidate_count(group),
+        );
+    }
+
+    // The best single IXP to reach (figure 7's headline).
+    let ranking = study.single_ixp_ranking();
+    let (best, per_group) = ranking[0];
+    println!(
+        "\nbest single IXP: {} — offload potential {} (all policies) = {} of transit traffic",
+        world.scene.ixp(best).meta.acronym,
+        per_group[3],
+        pct(per_group[3].fraction_of(total)),
+    );
+
+    // Greedy expansion (figure 9): diminishing marginal utility.
+    println!("\ngreedy expansion, peer group 4 (all policies):");
+    let steps = study.greedy(PeerGroup::All, 10);
+    let mut prev = total;
+    for (k, s) in steps.iter().enumerate() {
+        let remaining = s.remaining_in + s.remaining_out;
+        println!(
+            "  +{} {:<12} remaining transit {}  (step gain {})",
+            k + 1,
+            world.scene.ixp(s.ixp).meta.acronym,
+            remaining,
+            prev - remaining,
+        );
+        prev = remaining;
+    }
+    let last = steps.last().expect("steps");
+    let reduction = 1.0 - (last.remaining_in + last.remaining_out).0 / total.0;
+    println!(
+        "after {} IXPs: {} of transit traffic offloaded (the paper reaches ~25% with 65)",
+        steps.len(),
+        pct(reduction),
+    );
+
+    // Figure 10's generalized metric: reachable interfaces.
+    let if_steps = study.greedy_by(PeerGroup::All, 5, GreedyMetric::Interfaces);
+    let start = study.total_transit_interfaces();
+    println!("\ninterfaces reachable only through transit (figure 10's metric):");
+    println!("  0 IXPs: {:.2} billion", start as f64 / 1e9);
+    for (k, s) in if_steps.iter().enumerate() {
+        println!(
+            "  {} IXPs: {:.2} billion (reached {})",
+            k + 1,
+            s.remaining_interfaces as f64 / 1e9,
+            world.scene.ixp(s.ixp).meta.acronym,
+        );
+    }
+
+    // Overlap (figure 8): what the second-best IXP is still worth.
+    if ranking.len() >= 2 {
+        let (second, full) = ranking[1];
+        let residual = study.remaining_after(best, second, PeerGroup::All);
+        println!(
+            "\nsecond IXP {}: full potential {}, but only {} remains after fully \
+             realizing {} first (membership overlap)",
+            world.scene.ixp(second).meta.acronym,
+            full[3],
+            residual,
+            world.scene.ixp(IxpId(best.0)).meta.acronym,
+        );
+    }
+}
