@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
+//! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR] [--threads N]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4a | fig4b | validate | fig5a |
 //!             fig5b | fig6 | fig7 | fig8 | fig9 | fig10 | econ | fit |
@@ -26,6 +26,7 @@ struct Args {
     seed: u64,
     scale: String,
     out: PathBuf,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
         seed: 42,
         scale: "paper".into(),
         out: PathBuf::from("results"),
+        threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,8 +43,16 @@ fn parse_args() -> Args {
             "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric seed"),
             "--scale" => args.scale = it.next().expect("--scale test|paper"),
             "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a numeric count (0 = automatic)");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
-                println!("usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]");
+                println!(
+                    "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR] [--threads N]"
+                );
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
@@ -70,6 +80,13 @@ fn emit(out_dir: &PathBuf, output: &ExperimentOutput) {
 
 fn main() {
     let args = parse_args();
+    // Results are bit-identical at any thread count (per-IXP seeding plus
+    // order-preserving collection); --threads only trades wall-clock time.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(args.threads)
+        .build_global()
+        .expect("install global thread pool");
+    eprintln!("worker threads: {}", rayon::current_num_threads());
     let cfg = match args.scale.as_str() {
         "paper" => WorldConfig::paper_scale(args.seed),
         "test" => WorldConfig::test_scale(args.seed),

@@ -20,6 +20,7 @@
 use crate::probe::{InterfaceSamples, Sample};
 use crate::world::World;
 use rand::RngExt;
+use rayon::prelude::*;
 use rp_ixp::membership::late_epoch_extra_ms;
 use rp_ixp::model::{Access, IxpInstance, MemberInterface};
 use rp_ixp::LgOperator;
@@ -356,8 +357,23 @@ impl Campaign {
             .collect()
     }
 
-    /// Probe every studied IXP.
+    /// Probe every studied IXP, one IXP per worker.
+    ///
+    /// Each IXP's simulation is seeded independently from the master seed
+    /// (`seed::derive(seed, "campaign", ixp)`), so no state flows between
+    /// IXPs and the result is bit-identical to [`probe_all_serial`]
+    /// regardless of thread count or scheduling — the property pinned by
+    /// `tests/parallel_determinism.rs`.
     pub fn probe_all(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
+        let ixps = world.studied_ixps();
+        ixps.par_iter()
+            .map(|&ixp| (ixp, self.probe_ixp(world, ixp)))
+            .collect()
+    }
+
+    /// Reference serial implementation of [`probe_all`], kept for the
+    /// determinism tests and the serial-vs-parallel benchmark.
+    pub fn probe_all_serial(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
         world
             .studied_ixps()
             .into_iter()

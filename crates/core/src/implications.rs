@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn shared_fate_erases_the_third_nine() {
         let w = world();
-        let r = multihoming_reliability(&w, 0.01, 200_000);
+        // 2M trials put the 5e-5 tolerance at ~7 binomial standard
+        // deviations of the 1e-4 shared-fate rate, so the check is robust
+        // to the RNG stream rather than tuned to one generator.
+        let r = multihoming_reliability(&w, 0.01, 2_000_000);
         // Independent: 1e-6; shared: 1e-4 — two orders of magnitude.
         assert!((r.independent_analytic - 1e-6).abs() < 1e-12);
         assert!((r.shared_analytic - 1e-4).abs() < 1e-12);

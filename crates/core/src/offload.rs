@@ -3,10 +3,12 @@
 //! reaches and who agrees to peer.
 
 use crate::world::World;
+use rayon::prelude::*;
 use rp_topology::cone::{cone_union, NetworkSet};
 use rp_topology::{AsType, PeeringPolicy};
 use rp_types::{Bps, IxpId, NetworkId};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// The four peer groups of section 4.2, from the lower bound (open-policy
 /// networks auto-peering via route servers) to the upper bound (everyone,
@@ -32,6 +34,17 @@ impl PeerGroup {
         PeerGroup::OpenSelective,
         PeerGroup::All,
     ];
+
+    /// Stable position of the group in [`PeerGroup::ALL`], used to index
+    /// per-group caches.
+    pub fn index(self) -> usize {
+        match self {
+            PeerGroup::Open => 0,
+            PeerGroup::OpenTop10Selective => 1,
+            PeerGroup::OpenSelective => 2,
+            PeerGroup::All => 3,
+        }
+    }
 
     /// The paper's label for the group.
     pub fn label(self) -> &'static str {
@@ -77,6 +90,12 @@ pub struct OffloadStudy<'w> {
     /// The top-10 selective networks by standalone offload potential
     /// (members of peer group 2 beyond the open networks).
     top10_selective: Vec<NetworkId>,
+    /// Memoized single-IXP reachable cones, one slot per [`PeerGroup`]
+    /// (indexed by [`PeerGroup::index`]), each holding one [`NetworkSet`]
+    /// per scene IXP (indexed by `IxpId::index`). Filled lazily on first
+    /// use; every ranking, greedy sweep, and `potential` call for a group
+    /// then reuses the same 65 cones instead of recomputing them.
+    cones: [OnceLock<Vec<NetworkSet>>; 4],
 }
 
 impl<'w> OffloadStudy<'w> {
@@ -103,6 +122,7 @@ impl<'w> OffloadStudy<'w> {
             world,
             eligible,
             top10_selective: Vec::new(),
+            cones: Default::default(),
         };
         study.top10_selective = study.compute_top10_selective();
         study
@@ -186,9 +206,39 @@ impl<'w> OffloadStudy<'w> {
             .sum()
     }
 
+    /// The memoized per-IXP cones for `group`, computed in parallel on
+    /// first use (one IXP per worker).
+    fn group_cones(&self, group: PeerGroup) -> &[NetworkSet] {
+        self.cones[group.index()].get_or_init(|| {
+            self.world
+                .scene
+                .ixps
+                .par_iter()
+                .map(|x| self.reachable_cone_uncached(&[x.id], group))
+                .collect()
+        })
+    }
+
     /// The cone (peers + their customer cones) reachable by peering with
     /// the group's members at `ixps`.
+    ///
+    /// Served from the per-`(IxpId, PeerGroup)` cone cache: a cone union
+    /// over several IXPs' member sets equals the union of the single-IXP
+    /// cones, so the cached sets compose exactly (asserted by the
+    /// `cone_cache` property tests).
     pub fn reachable_cone(&self, ixps: &[IxpId], group: PeerGroup) -> NetworkSet {
+        let cones = self.group_cones(group);
+        let mut out = NetworkSet::new(self.world.topology.len());
+        for &ixp in ixps {
+            out.union_with(&cones[ixp.index()]);
+        }
+        out
+    }
+
+    /// Reference implementation of [`reachable_cone`] that recomputes the
+    /// cone union from the member lists, bypassing the cache. Kept for the
+    /// cache-consistency tests and the cached-vs-uncached benchmark.
+    pub fn reachable_cone_uncached(&self, ixps: &[IxpId], group: PeerGroup) -> NetworkSet {
         let mut roots: Vec<NetworkId> = Vec::new();
         for &ixp in ixps {
             roots.extend(self.members_in_group(ixp, group));
@@ -203,17 +253,23 @@ impl<'w> OffloadStudy<'w> {
 
     /// Figure 7: the offload potential at each single IXP, descending, with
     /// the potential under each peer group.
+    ///
+    /// Runs one IXP per worker over the cached cones; the final sort is
+    /// over the complete row set, so the order (and its deterministic
+    /// `IxpId` tie-break) is independent of scheduling.
     pub fn single_ixp_ranking(&self) -> Vec<(IxpId, [Bps; 4])> {
+        let group_cones: [&[NetworkSet]; 4] =
+            [0, 1, 2, 3].map(|k| self.group_cones(PeerGroup::ALL[k]));
         let mut rows: Vec<(IxpId, [Bps; 4])> = self
             .world
             .scene
             .ixps
-            .iter()
+            .par_iter()
             .map(|ixp| {
                 let mut per_group = [Bps::ZERO; 4];
-                for (k, group) in PeerGroup::ALL.iter().enumerate() {
-                    let (i, o) = self.potential(&[ixp.id], *group);
-                    per_group[k] = i + o;
+                for (k, per) in per_group.iter_mut().enumerate() {
+                    let (i, o) = self.cone_traffic(&group_cones[k][ixp.id.index()]);
+                    *per = i + o;
                 }
                 (ixp.id, per_group)
             })
@@ -245,12 +301,54 @@ impl<'w> OffloadStudy<'w> {
         self.greedy_by(group, max_steps, GreedyMetric::Traffic)
     }
 
-    /// Greedy expansion under an explicit step metric.
+    /// Greedy expansion under an explicit step metric, over the cached
+    /// per-IXP cones.
     pub fn greedy_by(
         &self,
         group: PeerGroup,
         max_steps: usize,
         metric: GreedyMetric,
+    ) -> Vec<GreedyStep> {
+        self.greedy_with_cones(max_steps, metric, self.group_cones(group))
+    }
+
+    /// [`greedy_by`] with the per-IXP cones recomputed from scratch,
+    /// bypassing the cache. Kept for the cache-consistency tests and the
+    /// cached-vs-uncached benchmark.
+    pub fn greedy_by_uncached(
+        &self,
+        group: PeerGroup,
+        max_steps: usize,
+        metric: GreedyMetric,
+    ) -> Vec<GreedyStep> {
+        let cones: Vec<NetworkSet> = self
+            .world
+            .scene
+            .ixps
+            .iter()
+            .map(|x| self.reachable_cone_uncached(&[x.id], group))
+            .collect();
+        self.greedy_with_cones(max_steps, metric, &cones)
+    }
+
+    /// One candidate's marginal value against the current coverage.
+    fn marginal_gain(&self, cone: &NetworkSet, covered: &NetworkSet, metric: GreedyMetric) -> f64 {
+        let mut gain_set = cone.clone();
+        gain_set.subtract(covered);
+        match metric {
+            GreedyMetric::Traffic => {
+                let (i, o) = self.cone_traffic(&gain_set);
+                (i + o).0
+            }
+            GreedyMetric::Interfaces => self.cone_interfaces(&gain_set) as f64,
+        }
+    }
+
+    fn greedy_with_cones(
+        &self,
+        max_steps: usize,
+        metric: GreedyMetric,
+        cones: &[NetworkSet],
     ) -> Vec<GreedyStep> {
         let topo = &self.world.topology;
         let mut covered = NetworkSet::new(topo.len());
@@ -258,27 +356,38 @@ impl<'w> OffloadStudy<'w> {
         let mut remaining_out = self.world.contributions.total_outbound();
         let mut remaining_if = self.total_transit_interfaces();
         let mut unchosen: Vec<IxpId> = self.world.scene.ixps.iter().map(|x| x.id).collect();
-        // Per-IXP cones are fixed per group; compute once.
-        let cones: Vec<NetworkSet> = self
-            .world
-            .scene
-            .ixps
-            .iter()
-            .map(|x| self.reachable_cone(&[x.id], group))
+
+        // First-round gains for every candidate, one per worker. The
+        // per-network values are non-negative and coverage only grows, so a
+        // candidate's gain never increases across steps: `bound` (its most
+        // recently computed gain) stays a valid upper bound for later
+        // rounds, which is what lets the scan below skip candidates.
+        let mut bound: Vec<f64> = unchosen
+            .par_iter()
+            .map(|&ixp| self.marginal_gain(&cones[ixp.index()], &covered, metric))
             .collect();
 
         let mut steps = Vec::new();
-        for _ in 0..max_steps.min(unchosen.len()) {
+        for round in 0..max_steps.min(unchosen.len()) {
+            // Lazy-greedy argmax, exact: scanning in candidate order with
+            // best-so-far `g`, a candidate with `bound ≤ g` has true gain
+            // ≤ g and could not have replaced the best under the serial
+            // loop's strictly-greater rule — skipping it preserves both the
+            // selection and the earliest-position tie-break bit for bit.
             let mut best: Option<(f64, usize)> = None;
-            for (pos, &ixp) in unchosen.iter().enumerate() {
-                let mut gain_set = cones[ixp.index()].clone();
-                gain_set.subtract(&covered);
-                let gain = match metric {
-                    GreedyMetric::Traffic => {
-                        let (i, o) = self.cone_traffic(&gain_set);
-                        (i + o).0
+            for pos in 0..unchosen.len() {
+                if let Some((g, _)) = best {
+                    if bound[pos] <= g {
+                        continue;
                     }
-                    GreedyMetric::Interfaces => self.cone_interfaces(&gain_set) as f64,
+                }
+                // Round 0's bounds are this round's exact gains already.
+                let gain = if round == 0 {
+                    bound[pos]
+                } else {
+                    let g = self.marginal_gain(&cones[unchosen[pos].index()], &covered, metric);
+                    bound[pos] = g;
+                    g
                 };
                 if best.map(|(g, _)| gain > g).unwrap_or(true) {
                     best = Some((gain, pos));
@@ -286,6 +395,7 @@ impl<'w> OffloadStudy<'w> {
             }
             let Some((_, pos)) = best else { break };
             let ixp = unchosen.remove(pos);
+            bound.remove(pos);
             let mut gain_set = cones[ixp.index()].clone();
             gain_set.subtract(&covered);
             let (gi, go) = self.cone_traffic(&gain_set);

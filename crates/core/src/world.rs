@@ -177,9 +177,17 @@ impl World {
             }
         }
 
-        let registry = Registry::from_scene(&scene, &topology);
-        let view = RoutingView::new(&topology, vantage);
-        let contributions = contributions(&topology, &view, &cfg.traffic);
+        // The registry crawl is independent of the routing computation, so
+        // the two run on separate workers; both only read the finished
+        // topology/scene, so the result is identical to the serial order.
+        let (registry, (view, contributions)) = rayon::join(
+            || Registry::from_scene(&scene, &topology),
+            || {
+                let view = RoutingView::new(&topology, vantage);
+                let contributions = contributions(&topology, &view, &cfg.traffic);
+                (view, contributions)
+            },
+        );
 
         World {
             config: cfg.clone(),

@@ -1,0 +1,134 @@
+//! Property tests for [`OffloadStudy::reachable_cone`] and the offload
+//! potential: monotonicity in the reached-IXP set, for every peer group,
+//! plus exact agreement between the memoized cone cache and the uncached
+//! reference computation.
+//!
+//! The world and study are built once behind `OnceLock`s — each generated
+//! case only runs set algebra, keeping the property sweep fast.
+
+use proptest::prelude::*;
+use remote_peering::offload::{OffloadStudy, PeerGroup};
+use remote_peering::world::{World, WorldConfig};
+use rp_types::IxpId;
+use std::sync::OnceLock;
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn study() -> OffloadStudy<'static> {
+    OffloadStudy::new(WORLD.get_or_init(|| World::build(&WorldConfig::test_scale(77))))
+}
+
+static STUDY: OnceLock<OffloadStudy<'static>> = OnceLock::new();
+
+fn shared_study() -> &'static OffloadStudy<'static> {
+    STUDY.get_or_init(study)
+}
+
+fn ixp_count() -> usize {
+    WORLD
+        .get_or_init(|| World::build(&WorldConfig::test_scale(77)))
+        .scene
+        .ixps
+        .len()
+}
+
+/// Dedup and bound a generated position list into a concrete IXP set.
+fn to_ixps(positions: &[usize]) -> Vec<IxpId> {
+    let n = ixp_count();
+    let mut out: Vec<IxpId> = Vec::new();
+    for &p in positions {
+        let id = IxpId((p % n) as u32);
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adding_an_ixp_never_shrinks_the_cone(
+        positions in proptest::collection::vec(0usize..64, 0..6),
+        extra in 0usize..64,
+    ) {
+        let study = shared_study();
+        let base = to_ixps(&positions);
+        let extra = IxpId((extra % ixp_count()) as u32);
+        let mut larger = base.clone();
+        if !larger.contains(&extra) {
+            larger.push(extra);
+        }
+        for group in PeerGroup::ALL {
+            let small = study.reachable_cone(&base, group);
+            let big = study.reachable_cone(&larger, group);
+            for net in small.iter() {
+                prop_assert!(
+                    big.contains(net),
+                    "{group:?}: {net} fell out of the cone when adding {extra}"
+                );
+            }
+            prop_assert!(big.count() >= small.count());
+        }
+    }
+
+    #[test]
+    fn potential_is_non_decreasing_in_the_ixp_set(
+        positions in proptest::collection::vec(0usize..64, 0..6),
+        extra in 0usize..64,
+    ) {
+        let study = shared_study();
+        let base = to_ixps(&positions);
+        let extra = IxpId((extra % ixp_count()) as u32);
+        let mut larger = base.clone();
+        if !larger.contains(&extra) {
+            larger.push(extra);
+        }
+        for group in PeerGroup::ALL {
+            let (i1, o1) = study.potential(&base, group);
+            let (i2, o2) = study.potential(&larger, group);
+            prop_assert!(
+                i2.0 >= i1.0 - 1e-9,
+                "{group:?}: inbound potential shrank {i1} -> {i2}"
+            );
+            prop_assert!(
+                o2.0 >= o1.0 - 1e-9,
+                "{group:?}: outbound potential shrank {o1} -> {o2}"
+            );
+        }
+    }
+
+    #[test]
+    fn cone_cache_matches_uncached_reference(
+        positions in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let study = shared_study();
+        let ixps = to_ixps(&positions);
+        for group in PeerGroup::ALL {
+            prop_assert_eq!(
+                study.reachable_cone(&ixps, group),
+                study.reachable_cone_uncached(&ixps, group)
+            );
+        }
+    }
+
+    #[test]
+    fn peer_groups_nest_for_any_ixp_set(
+        positions in proptest::collection::vec(0usize..64, 1..6),
+    ) {
+        // Widening the peer group can only widen the cone: each group's
+        // member set at every IXP contains the previous group's.
+        let study = shared_study();
+        let ixps = to_ixps(&positions);
+        let mut last = 0usize;
+        for group in PeerGroup::ALL {
+            let count = study.reachable_cone(&ixps, group).count();
+            prop_assert!(
+                count >= last,
+                "{group:?} shrank the cone: {count} < {last}"
+            );
+            last = count;
+        }
+    }
+}

@@ -584,7 +584,7 @@ pub const LATE_EPOCH_EXTRA_MS: (f64, f64) = (5.5, 8.0);
 /// [`ResponderProfile`] generation because it is a *link* property of the
 /// campaign window, not of the device.
 pub fn late_epoch_extra_ms(cfg: &SceneConfig, ixp: IxpId, slot: u32) -> f64 {
-    let mut rng = seed::rng(cfg.seed, "late-epoch", ((ixp.0 as u64) << 32) | slot as u64);
+    let mut rng = seed::rng2(cfg.seed, "late-epoch", ixp.0 as u64, slot as u64);
     if coin(&mut rng, cfg.rates.late_epoch) {
         LATE_EPOCH_EXTRA_MS.0
             + rng.random::<f64>() * (LATE_EPOCH_EXTRA_MS.1 - LATE_EPOCH_EXTRA_MS.0)

@@ -44,3 +44,24 @@ pub use link::{CongestionEpisode, DelayModel};
 pub use router::{Router, RouterBehavior};
 pub use sim::{Device, Network, NodeId, PortId};
 pub use switch::Switch;
+
+// The campaign runs one `Network` per worker thread, so the simulator types
+// must stay `Send` (and the shared config types `Sync`). These assertions
+// turn an accidental `Rc`/`RefCell`/raw-pointer regression into a compile
+// error at the crate boundary instead of a trait-bound error deep inside a
+// `par_iter` call chain.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Network>();
+    assert_sync::<Network>();
+    assert_send::<RouterBehavior>();
+    assert_sync::<RouterBehavior>();
+    assert_send::<DelayModel>();
+    assert_sync::<DelayModel>();
+    assert_send::<CongestionEpisode>();
+    assert_sync::<CongestionEpisode>();
+    assert_send::<Host>();
+    assert_send::<Router>();
+    assert_send::<Switch>();
+};

@@ -47,6 +47,23 @@ pub fn rng(master: u64, domain: &str, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive(master, domain, index))
 }
 
+/// Derive a child seed from `(master, domain, index, subindex)`.
+///
+/// For per-task streams addressed by two coordinates (IXP × member slot,
+/// IXP × time bin). Mixes each coordinate through SplitMix64 separately, so
+/// unlike bit-packing (`(a << 32) | b`) no coordinate range can alias
+/// another.
+pub fn derive2(master: u64, domain: &str, index: u64, subindex: u64) -> u64 {
+    splitmix64(
+        derive(master, domain, index).wrapping_add(splitmix64(subindex ^ 0xA5A5_A5A5_A5A5_A5A5)),
+    )
+}
+
+/// A seeded [`StdRng`] for `(master, domain, index, subindex)`.
+pub fn rng2(master: u64, domain: &str, index: u64, subindex: u64) -> StdRng {
+    StdRng::seed_from_u64(derive2(master, domain, index, subindex))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,107 @@
+//! Parallel execution must be a pure wall-clock optimization: every
+//! parallelized path (the per-IXP campaign, the offload ranking and greedy
+//! sweeps, the cone cache) must return results bit-identical to its serial
+//! or uncached reference, at whatever thread count the host exposes.
+//!
+//! These tests run under the CI matrix (`RAYON_NUM_THREADS=1` and unset),
+//! so both the degenerate single-worker path and the genuinely concurrent
+//! path are exercised against the same assertions.
+
+use remote_peering::campaign::Campaign;
+use remote_peering::offload::{GreedyMetric, OffloadStudy, PeerGroup};
+use remote_peering::world::{World, WorldConfig};
+use rp_types::IxpId;
+
+const SEEDS: [u64; 3] = [7, 42, 20140101];
+
+#[test]
+fn parallel_probe_all_matches_serial_across_seeds() {
+    for seed in SEEDS {
+        let world = World::build(&WorldConfig::test_scale(seed));
+        let campaign = Campaign::default_paper();
+        let parallel = campaign.probe_all(&world);
+        let serial = campaign.probe_all_serial(&world);
+        assert_eq!(
+            parallel.len(),
+            serial.len(),
+            "seed {seed}: studied-IXP counts diverge"
+        );
+        // Element-wise comparison so a mismatch names the IXP.
+        for ((pi, ps), (si, ss)) in parallel.iter().zip(serial.iter()) {
+            assert_eq!(pi, si, "seed {seed}: IXP order diverged");
+            assert_eq!(ps, ss, "seed {seed}: samples diverged at IXP {pi}");
+        }
+    }
+}
+
+#[test]
+fn world_build_is_deterministic_under_parallel_sections() {
+    // World::build overlaps the registry crawl with the routing
+    // computation; both must see identical inputs and the assembled world
+    // must match a second build exactly.
+    for seed in SEEDS {
+        let a = World::build(&WorldConfig::test_scale(seed));
+        let b = World::build(&WorldConfig::test_scale(seed));
+        assert_eq!(a.vantage, b.vantage, "seed {seed}");
+        assert_eq!(a.home_ixps, b.home_ixps, "seed {seed}");
+        assert_eq!(
+            a.registry.total_entries(),
+            b.registry.total_entries(),
+            "seed {seed}: registry crawl diverged"
+        );
+        assert_eq!(
+            a.contributions.total_inbound(),
+            b.contributions.total_inbound(),
+            "seed {seed}: traffic contributions diverged"
+        );
+    }
+}
+
+#[test]
+fn greedy_cached_matches_uncached_for_all_groups_and_metrics() {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let study = OffloadStudy::new(&world);
+    for group in PeerGroup::ALL {
+        for metric in [GreedyMetric::Traffic, GreedyMetric::Interfaces] {
+            let cached = study.greedy_by(group, 20, metric);
+            let uncached = study.greedy_by_uncached(group, 20, metric);
+            assert_eq!(
+                cached, uncached,
+                "{group:?}/{metric:?}: cone cache changed the greedy expansion"
+            );
+        }
+    }
+}
+
+#[test]
+fn reachable_cone_cache_composes_exactly() {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let study = OffloadStudy::new(&world);
+    let all: Vec<IxpId> = world.scene.ixps.iter().map(|x| x.id).collect();
+    for group in PeerGroup::ALL {
+        for ixps in [&all[..1], &all[..7], &all[..]] {
+            assert_eq!(
+                study.reachable_cone(ixps, group),
+                study.reachable_cone_uncached(ixps, group),
+                "{group:?} over {} IXPs: cached cone diverged",
+                ixps.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_ixp_ranking_is_stable() {
+    let world = World::build(&WorldConfig::test_scale(42));
+    let study = OffloadStudy::new(&world);
+    let first = study.single_ixp_ranking();
+    let second = study.single_ixp_ranking();
+    assert_eq!(first, second, "parallel ranking must be run-to-run stable");
+    // A fresh study (cold cache) must agree with the warm one.
+    let fresh = OffloadStudy::new(&world);
+    assert_eq!(
+        first,
+        fresh.single_ixp_ranking(),
+        "cold-cache ranking diverged"
+    );
+}

@@ -1,0 +1,213 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface with a simple but honest measurement loop: warm up, pick an
+//! iteration count targeting a fixed measurement window, report mean time
+//! per iteration. No statistics machinery, no HTML reports — results print
+//! one line per benchmark:
+//!
+//! ```text
+//! campaign/probe_all_parallel  time: 184.21 ms/iter  (12 iters)
+//! ```
+//!
+//! Environment knobs:
+//! - `CRITERION_MEASURE_MS` — target measurement window per benchmark in
+//!   milliseconds (default 1000).
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup allocations (accepted, not used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms.max(1))
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            window: measure_window(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print its mean iteration time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            window: self.window,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name}  time: <no measurement>");
+        } else {
+            let per_iter = b.total.as_secs_f64() / b.iters as f64;
+            println!(
+                "{name}  time: {}  ({} iters)",
+                format_seconds(per_iter),
+                b.iters
+            );
+        }
+        self
+    }
+
+    /// Start a named group; benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a `group/` prefix. The real
+/// criterion's sampling knobs are accepted and ignored — this harness
+/// calibrates iteration counts from the measurement window instead.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for call-site compatibility; the window-based calibration
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark under the group's prefix.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op; kept for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s/iter")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms/iter", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs/iter", s * 1e6)
+    } else {
+        format!("{:.1} ns/iter", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    window: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly until the measurement window fills.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: one untimed run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(50));
+
+        let target = self.window;
+        let planned = (target.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        let start = Instant::now();
+        for _ in 0..planned {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = planned;
+    }
+
+    /// Measure `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let first = t0.elapsed().max(Duration::from_nanos(50));
+
+        let target = self.window;
+        let planned = (target.as_secs_f64() / first.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..planned {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = planned;
+    }
+}
+
+/// Define a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! Parallel iterator adapters: `par_iter()` / `into_par_iter()` with
+//! `map` and `collect`, evaluated eagerly through
+//! [`par_map_slice`](crate::par_map_slice).
+
+use crate::par_map_slice;
+use std::sync::Mutex;
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The adapter type.
+    type Iter;
+    /// A parallel iterator borrowing `self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Consuming entry point: `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The adapter type.
+    type Iter;
+    /// A parallel iterator owning `self`'s elements.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIntoIter<T>;
+    fn into_par_iter(self) -> ParIntoIter<T> {
+        ParIntoIter { items: self }
+    }
+}
+
+/// Parallel iterator over borrowed elements.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collect the borrowed elements (requires `Clone`).
+    pub fn collect<C>(self) -> C
+    where
+        T: Clone + Send,
+        C: FromParallelResults<T>,
+    {
+        C::from_results(par_map_slice(self.items, |t| t.clone()))
+    }
+}
+
+/// Mapped parallel iterator over borrowed elements.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelResults<R>,
+    {
+        C::from_results(par_map_slice(self.items, self.f))
+    }
+}
+
+/// Parallel iterator over owned elements.
+pub struct ParIntoIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIntoIter<T> {
+    /// Apply `f` to every element in parallel, consuming them.
+    pub fn map<R, F>(self, f: F) -> ParIntoMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIntoMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator over owned elements.
+pub struct ParIntoMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParIntoMap<T, F> {
+    /// Run the map and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelResults<R>,
+    {
+        // Ownership transfer to workers goes through per-slot mutexes: each
+        // index is claimed exactly once, so the locks never contend beyond
+        // their single take().
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|v| Mutex::new(Some(v)))
+            .collect();
+        let indices: Vec<usize> = (0..slots.len()).collect();
+        let f = &self.f;
+        let results = par_map_slice(&indices, move |&i| {
+            let value = slots[i]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("each index claimed once");
+            f(value)
+        });
+        C::from_results(results)
+    }
+}
+
+/// Targets of `collect()`; the vendored stand-in for `FromParallelIterator`.
+pub trait FromParallelResults<R> {
+    /// Build the collection from in-order results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Self {
+        results
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the slice-of-work surface this workspace uses —
+//! `par_iter().map(f).collect::<Vec<_>>()`, [`join`], and the global
+//! thread-count knobs — over `std::thread::scope`. The execution model:
+//!
+//! - Work items are claimed from an atomic cursor, so load balances even
+//!   when items differ wildly in cost (one big IXP vs many small ones).
+//! - Each worker buffers `(index, result)` pairs; the caller reassembles in
+//!   input order. **Output order therefore never depends on scheduling** —
+//!   the property the workspace's parallel-determinism tests pin down.
+//! - A panic in any worker propagates to the caller at scope exit, like
+//!   rayon.
+//!
+//! Thread count resolution order: `ThreadPoolBuilder::build_global`
+//! override, then `RAYON_NUM_THREADS`, then `available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+/// `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0); // 0 = unset
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced here;
+/// kept for call-site compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global thread count, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike real rayon this may be
+    /// called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map over a slice: the engine under the
+/// `par_iter()` adapters.
+pub fn par_map_slice<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in input order.
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for bucket in &mut buckets {
+        for (i, r) in bucket.drain(..) {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_under_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        let parallel: Vec<u64> = items.par_iter().map(|&x| x.wrapping_mul(x)).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn into_par_iter_consumes_vecs() {
+        let owned: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let lens: Vec<usize> = owned.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 40 + 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! `Serialize` and `Deserialize` exist here as *marker* traits, blanket
+//! implemented for every type: the workspace's derives document which types
+//! are data (and keep the door open for a real serde once the environment
+//! has network access), while the only serialization that actually runs is
+//! the hand-built JSON in `vendor/serde_json`.
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace; both can share a name, exactly as in real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: this type is conceptually serializable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: this type is conceptually deserializable.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

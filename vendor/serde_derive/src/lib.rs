@@ -1,0 +1,25 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its domain types as
+//! documentation of intent, but never round-trips them through a serde data
+//! format — the only JSON actually emitted goes through `serde_json::Value`,
+//! which is built by hand (see `vendor/serde_json`). The vendored `serde`
+//! crate therefore blanket-implements its marker traits for every type, and
+//! these derives only need to *parse*, not generate: each expands to nothing.
+//!
+//! The `#[serde(...)]` helper attribute is still declared so any future
+//! field annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the marker trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the marker trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,402 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Unlike the vendored `serde` (which is marker-only), this crate really
+//! works: [`Value`] is a full JSON tree, [`json!`] builds one from literal
+//! syntax, and [`to_string_pretty`] emits valid, escaped JSON. The
+//! conversion path is the [`ToJson`] trait rather than serde's
+//! `Serialize`, implemented for every primitive, tuple, and container the
+//! experiment outputs use.
+//!
+//! Object keys keep insertion order (like serde_json's `preserve_order`
+//! feature), so regenerated result files diff cleanly.
+
+use std::fmt;
+
+/// A JSON number: integers stay integers in the output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (for values above `i64::MAX`).
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I(v) => write!(f, "{v}"),
+            Number::U(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    // Round-trippable and still JSON-legal: integers gain a
+                    // trailing ".0" just like serde_json.
+                    if *v == v.trunc() && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; serde_json errors here, we emit
+                    // null so diagnostic dumps never die mid-write.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (k, (key, value)) in entries.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_pretty(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization failure (never produced by this vendored build; kept so
+/// call sites can `.expect()` exactly as with real serde_json).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json (vendored) error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-print `value` as two-space-indented JSON.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write_pretty(&mut s, 0);
+    Ok(s)
+}
+
+/// Compact single-line JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    // Pretty output is already valid JSON; compactness is cosmetic here,
+    // and result files prefer the readable form anyway.
+    to_string_pretty(value)
+}
+
+/// Conversion into a [`Value`]; the vendored replacement for `Serialize`.
+pub trait ToJson {
+    /// Build the JSON tree for `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Convert anything [`ToJson`] into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::Number(Number::I(*self as i64)) }
+        }
+    )*};
+}
+impl_to_json_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_to_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Value::Number(Number::I(v as i64))
+                } else {
+                    Value::Number(Number::U(v))
+                }
+            }
+        }
+    )*};
+}
+impl_to_json_unsigned!(u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+macro_rules! impl_to_json_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*};
+}
+impl_to_json_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Build a [`Value`] from JSON-literal syntax.
+///
+/// Supports the grammar the experiment outputs use: objects with
+/// string-literal keys, nested objects/arrays, and arbitrary Rust
+/// expressions (converted through [`ToJson`]) in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_entries!(object; $($body)+);
+        $crate::Value::Object(object)
+    }};
+    ([ $($body:tt)+ ]) => {{
+        let mut array: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_entries!(array; $($body)+);
+        $crate::Value::Array(array)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munch `"key": value` pairs into `$obj`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.extend([($key.to_string(), $crate::json!({ $($inner)* }))]);
+        $($crate::json_object_entries!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.extend([($key.to_string(), $crate::json!([ $($inner)* ]))]);
+        $($crate::json_object_entries!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.extend([($key.to_string(), $crate::Value::Null)]);
+        $($crate::json_object_entries!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $obj.extend([($key.to_string(), $crate::to_value(&$value))]);
+        $($crate::json_object_entries!($obj; $($rest)*);)?
+    };
+}
+
+/// Internal: munch array elements into `$arr`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_entries {
+    ($arr:ident;) => {};
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.extend([$crate::json!({ $($inner)* })]);
+        $($crate::json_array_entries!($arr; $($rest)*);)?
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.extend([$crate::json!([ $($inner)* ])]);
+        $($crate::json_array_entries!($arr; $($rest)*);)?
+    };
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.extend([$crate::Value::Null]);
+        $($crate::json_array_entries!($arr; $($rest)*);)?
+    };
+    ($arr:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $arr.extend([$crate::to_value(&$value)]);
+        $($crate::json_array_entries!($arr; $($rest)*);)?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_keep_insertion_order_and_escape() {
+        let v = json!({
+            "b": 1,
+            "a": "x\"y\n",
+            "nested": {"k": [1, 2.5, true, null]},
+            "opt_none": Option::<u32>::None,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("\\\"y\\n"));
+        assert!(s.contains("null"));
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(Number::I(-3).to_string(), "-3");
+        assert_eq!(Number::U(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Number::F(2.0).to_string(), "2.0");
+        assert_eq!(Number::F(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn expressions_and_containers_convert() {
+        let rows = vec![(1u32, 2usize), (3, 4)];
+        let arr: [usize; 3] = [7, 8, 9];
+        let v = json!({"rows": rows, "arr": arr, "calc": 21 * 2});
+        match &v {
+            Value::Object(entries) => {
+                assert_eq!(entries.len(), 3);
+                assert_eq!(entries[2].1, Value::Number(Number::I(42)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}
