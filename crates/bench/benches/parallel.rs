@@ -80,5 +80,23 @@ fn bench_greedy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_campaign, bench_greedy);
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Overhead budget for the rp-obs instrumentation threaded through the
+    // campaign: <2% with collection enabled, unmeasurable when disabled
+    // (the disabled path is one relaxed atomic load per site).
+    let world = World::build(&WorldConfig::test_scale(42));
+    let campaign = Campaign::default_paper();
+
+    rp_obs::disable();
+    c.bench_function("obs/probe_all_disabled", |b| {
+        b.iter(|| campaign.probe_all(black_box(&world)))
+    });
+    rp_obs::enable();
+    c.bench_function("obs/probe_all_enabled", |b| {
+        b.iter(|| campaign.probe_all(black_box(&world)))
+    });
+    rp_obs::disable();
+}
+
+criterion_group!(benches, bench_campaign, bench_greedy, bench_obs_overhead);
 criterion_main!(benches);

@@ -1,16 +1,21 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR] [--threads N]
-//!
-//! EXPERIMENT: table1 | fig2 | fig3 | fig4a | fig4b | validate | fig5a |
-//!             fig5b | fig6 | fig7 | fig8 | fig9 | fig10 | econ | fit |
-//!             ablate | threshold | flattening | implications | invisibility |
-//!             inference | africa | seeds | all
+//! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
+//!       [--threads N] [--report [PATH]] [--trace]
 //! ```
 //!
-//! Text goes to stdout; raw numbers are written as JSON under `--out`
-//! (default `results/`).
+//! Run `repro --help` for the experiment list. Text goes to stdout; raw
+//! numbers are written as JSON under `--out` (default `results/`).
+//!
+//! `--report [PATH]` additionally records spans and metrics across the
+//! whole pipeline and writes a `run_report.json` (default
+//! `<out>/run_report.json`): the span tree with call counts and self/total
+//! times, every registered metric, the filter funnel, and a world summary.
+//! `--trace` prints the human-readable span tree to stderr. Either flag
+//! enables collection; results are bit-identical with or without it (the
+//! instrumentation only reads pipeline state — pinned by
+//! `tests/report_schema.rs`).
 
 use remote_peering::campaign::Campaign;
 use remote_peering::detect::DetectionReport;
@@ -18,8 +23,36 @@ use remote_peering::identify::Identification;
 use remote_peering::offload::OffloadStudy;
 use remote_peering::world::{World, WorldConfig};
 use rp_bench::experiments::{self, ExperimentOutput};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Every experiment name `repro` accepts, in the order they run.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "validate",
+    "threshold",
+    "ablate",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fit",
+    "flattening",
+    "inference",
+    "invisibility",
+    "implications",
+    "africa",
+    "seeds",
+    "econ",
+    "all",
+];
 
 struct Args {
     experiment: String,
@@ -27,6 +60,38 @@ struct Args {
     scale: String,
     out: PathBuf,
     threads: usize,
+    /// `Some(None)` = `--report` with the default path under `--out`.
+    report: Option<Option<PathBuf>>,
+    trace: bool,
+}
+
+fn usage_text() -> String {
+    let mut s = String::from(
+        "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]\n\
+         \x20            [--threads N] [--report [PATH]] [--trace]\n\nexperiments:\n",
+    );
+    for chunk in EXPERIMENTS.chunks(8) {
+        s.push_str("  ");
+        s.push_str(&chunk.join(" | "));
+        s.push('\n');
+    }
+    s.push_str(
+        "\nflags:\n\
+         \x20 --seed N          master seed (default 42)\n\
+         \x20 --scale S         world scale: test | paper (default paper)\n\
+         \x20 --out DIR         JSON output directory (default results/)\n\
+         \x20 --threads N       worker threads, 0 = automatic (default 0)\n\
+         \x20 --report [PATH]   collect spans/metrics, write a run report\n\
+         \x20                   (default PATH: <out>/run_report.json)\n\
+         \x20 --trace           print the span tree to stderr\n",
+    );
+    s
+}
+
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprint!("{}", usage_text());
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -36,33 +101,68 @@ fn parse_args() -> Args {
         scale: "paper".into(),
         out: PathBuf::from("results"),
         threads: 0,
+        report: None,
+        trace: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric seed"),
-            "--scale" => args.scale = it.next().expect("--scale test|paper"),
-            "--out" => args.out = PathBuf::from(it.next().expect("--out DIR")),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_usage("--seed requires a numeric seed"))
+            }
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--scale requires test|paper"))
+            }
+            "--out" => {
+                args.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| bad_usage("--out requires a directory"))
+            }
             "--threads" => {
                 args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("error: --threads requires a numeric count (0 = automatic)");
-                    std::process::exit(2);
+                    bad_usage("--threads requires a numeric count (0 = automatic)")
                 })
             }
+            "--report" => {
+                // PATH is optional: consume the next token only when it is
+                // neither a flag nor an experiment name.
+                let path = match it.peek() {
+                    Some(next)
+                        if !next.starts_with('-') && !EXPERIMENTS.contains(&next.as_str()) =>
+                    {
+                        Some(PathBuf::from(it.next().expect("peeked")))
+                    }
+                    _ => None,
+                };
+                args.report = Some(path);
+            }
+            "--trace" => args.trace = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR] [--threads N]"
-                );
+                print!("{}", usage_text());
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') => args.experiment = other.to_string(),
-            other => panic!("unknown flag {other}"),
+            other if !other.starts_with('-') => {
+                if !EXPERIMENTS.contains(&other) {
+                    bad_usage(&format!("unknown experiment {other}"));
+                }
+                args.experiment = other.to_string();
+            }
+            other => bad_usage(&format!("unknown flag {other}")),
         }
     }
     args
 }
 
-fn emit(out_dir: &PathBuf, output: &ExperimentOutput) {
+/// Run one experiment under its span and write its text/JSON outputs.
+fn emit(out_dir: &Path, span: &'static str, f: impl FnOnce() -> ExperimentOutput) {
+    let _sp = rp_obs::span(span);
+    let output = f();
     println!(
         "==== {} {}",
         output.id,
@@ -78,19 +178,21 @@ fn emit(out_dir: &PathBuf, output: &ExperimentOutput) {
     .expect("write json");
 }
 
-fn main() {
-    let args = parse_args();
-    // Results are bit-identical at any thread count (per-IXP seeding plus
-    // order-preserving collection); --threads only trades wall-clock time.
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(args.threads)
-        .build_global()
-        .expect("install global thread pool");
-    eprintln!("worker threads: {}", rayon::current_num_threads());
+/// Everything the experiments produced that the run report summarizes.
+struct RunArtifacts {
+    world: World,
+    detection: Option<DetectionReport>,
+}
+
+fn run_experiments(args: &Args) -> RunArtifacts {
+    // The top-level span; dropping it (at the end of this function) flushes
+    // the main thread's collector so the report sees the full tree.
+    let _run = rp_obs::span("repro.run");
+
     let cfg = match args.scale.as_str() {
         "paper" => WorldConfig::paper_scale(args.seed),
         "test" => WorldConfig::test_scale(args.seed),
-        other => panic!("unknown scale {other} (use test|paper)"),
+        other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
     };
 
     let t0 = Instant::now();
@@ -163,97 +265,183 @@ fn main() {
     if let Some(report) = &report {
         let ident = Identification::from_report(report);
         if wants(&["table1"]) {
-            emit(&args.out, &experiments::table1(&world, report));
+            emit(&args.out, "repro.table1", || {
+                experiments::table1(&world, report)
+            });
         }
         if wants(&["fig2"]) {
-            emit(&args.out, &experiments::fig2(report));
+            emit(&args.out, "repro.fig2", || experiments::fig2(report));
         }
         if wants(&["fig3"]) {
-            emit(&args.out, &experiments::fig3(&world, report));
+            emit(&args.out, "repro.fig3", || {
+                experiments::fig3(&world, report)
+            });
         }
         if wants(&["fig4a"]) {
-            emit(&args.out, &experiments::fig4a(&ident));
+            emit(&args.out, "repro.fig4a", || experiments::fig4a(&ident));
         }
         if wants(&["fig4b"]) {
-            emit(&args.out, &experiments::fig4b(&ident));
+            emit(&args.out, "repro.fig4b", || experiments::fig4b(&ident));
         }
         if wants(&["validate"]) {
-            emit(
-                &args.out,
-                &experiments::validation(&world, &campaign, report),
-            );
+            emit(&args.out, "repro.validate", || {
+                experiments::validation(&world, &campaign, report)
+            });
         }
         if wants(&["threshold"]) {
-            emit(
-                &args.out,
-                &experiments::threshold_sweep(&world, &campaign, report),
-            );
+            emit(&args.out, "repro.threshold", || {
+                experiments::threshold_sweep(&world, &campaign, report)
+            });
         }
     }
 
     // Ablation re-probes with modified filter configs; it is opt-in (also
     // included in `all`).
     if wants(&["ablate"]) {
-        emit(&args.out, &experiments::filter_ablation(&world, &campaign));
+        emit(&args.out, "repro.ablate", || {
+            experiments::filter_ablation(&world, &campaign)
+        });
     }
 
     if let Some(study) = &study {
         if wants(&["fig5a"]) {
-            emit(&args.out, &experiments::fig5a(&world, study));
+            emit(&args.out, "repro.fig5a", || {
+                experiments::fig5a(&world, study)
+            });
         }
         if wants(&["fig5b"]) {
-            emit(&args.out, &experiments::fig5b(&world, study));
+            emit(&args.out, "repro.fig5b", || {
+                experiments::fig5b(&world, study)
+            });
         }
         if wants(&["fig6"]) {
-            emit(&args.out, &experiments::fig6(&world, study));
+            emit(&args.out, "repro.fig6", || experiments::fig6(&world, study));
         }
         if wants(&["fig7"]) {
-            emit(&args.out, &experiments::fig7(&world, study));
+            emit(&args.out, "repro.fig7", || experiments::fig7(&world, study));
         }
         if wants(&["fig8"]) {
-            emit(&args.out, &experiments::fig8(&world, study));
+            emit(&args.out, "repro.fig8", || experiments::fig8(&world, study));
         }
         if wants(&["fig9"]) {
-            emit(&args.out, &experiments::fig9(&world, study));
+            emit(&args.out, "repro.fig9", || experiments::fig9(&world, study));
         }
         if wants(&["fig10"]) {
-            emit(&args.out, &experiments::fig10(&world, study));
+            emit(&args.out, "repro.fig10", || {
+                experiments::fig10(&world, study)
+            });
         }
         if wants(&["fit"]) {
-            emit(&args.out, &experiments::decay_fit(&world, study));
+            emit(&args.out, "repro.fit", || {
+                experiments::decay_fit(&world, study)
+            });
         }
         if wants(&["flattening"]) {
-            emit(&args.out, &experiments::flattening(&world, study));
+            emit(&args.out, "repro.flattening", || {
+                experiments::flattening(&world, study)
+            });
         }
     }
 
     if wants(&["inference"]) {
-        emit(&args.out, &experiments::inference(&world));
+        emit(&args.out, "repro.inference", || {
+            experiments::inference(&world)
+        });
     }
 
     if wants(&["invisibility"]) {
-        emit(&args.out, &experiments::invisibility(&world, &campaign));
+        emit(&args.out, "repro.invisibility", || {
+            experiments::invisibility(&world, &campaign)
+        });
     }
 
     if wants(&["implications"]) {
-        emit(&args.out, &experiments::implications(&world));
+        emit(&args.out, "repro.implications", || {
+            experiments::implications(&world)
+        });
     }
 
     if wants(&["africa"]) {
-        emit(&args.out, &experiments::africa(&world));
+        emit(&args.out, "repro.africa", || experiments::africa(&world));
     }
 
     if args.experiment == "seeds" {
         // Not part of `all` (it rebuilds the world five times).
-        emit(
-            &args.out,
-            &experiments::seed_robustness(args.seed, args.scale == "paper"),
-        );
+        emit(&args.out, "repro.seeds", || {
+            experiments::seed_robustness(args.seed, args.scale == "paper")
+        });
     }
 
     if wants(&["econ"]) {
-        emit(&args.out, &experiments::econ_analysis());
+        emit(&args.out, "repro.econ", experiments::econ_analysis);
     }
 
     eprintln!("total: {:.1?}", t0.elapsed());
+    RunArtifacts {
+        world,
+        detection: report,
+    }
+}
+
+fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
+    let world = &artifacts.world;
+    let mut report = rp_obs::report::RunReport::new();
+    report.section(
+        "meta",
+        serde_json::json!({
+            "experiment": args.experiment,
+            "seed": args.seed,
+            "scale": args.scale,
+            "threads": rayon::current_num_threads(),
+            "out_dir": args.out.display().to_string(),
+        }),
+    );
+    report.section(
+        "world",
+        serde_json::json!({
+            "ases": world.topology.len(),
+            "ixps": world.scene.ixps.len(),
+            "studied_ixps": world.studied_ixps().len(),
+            "interfaces": world.scene.total_interfaces(),
+            "vantage_asn": world.topology.node(world.vantage).asn.0,
+            "campaign_days": world.config.campaign_days,
+        }),
+    );
+    report.section(
+        "filter_funnel",
+        match &artifacts.detection {
+            Some(d) => d.stats.funnel_json(),
+            None => serde_json::Value::Null,
+        },
+    );
+    report.write(path).expect("write run report");
+    eprintln!("run report: {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let report_path = args.report.as_ref().map(|p| {
+        p.clone()
+            .unwrap_or_else(|| args.out.join("run_report.json"))
+    });
+    if report_path.is_some() || args.trace {
+        rp_obs::enable();
+    }
+    // Results are bit-identical at any thread count (per-IXP seeding plus
+    // order-preserving collection); --threads only trades wall-clock time.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(args.threads)
+        .build_global()
+        .expect("install global thread pool");
+    eprintln!("worker threads: {}", rayon::current_num_threads());
+
+    let artifacts = run_experiments(&args);
+    // run_experiments dropped the `repro.run` span, so the main thread's
+    // collector has flushed and the snapshots below see the whole run.
+    if args.trace {
+        eprint!("{}", rp_obs::report::render_trace());
+    }
+    if let Some(path) = &report_path {
+        write_report(path, &args, &artifacts);
+    }
 }

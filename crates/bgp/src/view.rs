@@ -39,6 +39,7 @@ impl RoutingView {
     /// Compute the view by propagating the vantage's prefix through the
     /// topology.
     pub fn new(topo: &Topology, vantage: NetworkId) -> Self {
+        let _sp = rp_obs::span("bgp.routing_view");
         RoutingView {
             vantage,
             routes: propagate(topo, vantage),

@@ -275,17 +275,22 @@ impl Campaign {
             .enumerate()
             .map(|(i, (_, m))| (m.ip, i))
             .collect();
+        let rtt_hist = rp_obs::histogram!("core.campaign.rtt_ms", rp_obs::metrics::RTT_MS_BUCKETS);
+        rp_obs::counter!("core.campaign.interfaces_probed").add(listed.len() as u64);
         for (k, (_, host)) in lgs.iter().enumerate() {
             for outcome in net.host(*host).outcomes() {
                 let Some(&i) = index_of.get(&outcome.target) else {
                     continue;
                 };
                 match outcome.reply {
-                    Some(r) => per_iface[i].per_lg[k].1.push(Sample {
-                        sent_at: outcome.sent_at.unwrap_or(outcome.planned_at),
-                        rtt_ms: r.rtt.as_millis_f64(),
-                        ttl: r.ttl,
-                    }),
+                    Some(r) => {
+                        rtt_hist.observe(r.rtt.as_millis_f64());
+                        per_iface[i].per_lg[k].1.push(Sample {
+                            sent_at: outcome.sent_at.unwrap_or(outcome.planned_at),
+                            rtt_ms: r.rtt.as_millis_f64(),
+                            ttl: r.ttl,
+                        })
+                    }
                     None => per_iface[i].unanswered[k].1 += 1,
                 }
             }
@@ -361,17 +366,23 @@ impl Campaign {
     ///
     /// Each IXP's simulation is seeded independently from the master seed
     /// (`seed::derive(seed, "campaign", ixp)`), so no state flows between
-    /// IXPs and the result is bit-identical to [`probe_all_serial`]
+    /// IXPs and the result is bit-identical to [`Campaign::probe_all_serial`]
     /// regardless of thread count or scheduling — the property pinned by
     /// `tests/parallel_determinism.rs`.
     pub fn probe_all(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
+        let sp = rp_obs::span("core.campaign.probe_all");
+        let parent = sp.path();
         let ixps = world.studied_ixps();
+        rp_obs::counter!("core.campaign.ixps_probed").add(ixps.len() as u64);
         ixps.par_iter()
-            .map(|&ixp| (ixp, self.probe_ixp(world, ixp)))
+            .map(|&ixp| {
+                let _sp = rp_obs::span_under(&parent, "core.campaign.probe_ixp");
+                (ixp, self.probe_ixp(world, ixp))
+            })
             .collect()
     }
 
-    /// Reference serial implementation of [`probe_all`], kept for the
+    /// Reference serial implementation of [`Campaign::probe_all`], kept for the
     /// determinism tests and the serial-vs-parallel benchmark.
     pub fn probe_all_serial(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
         world

@@ -25,6 +25,7 @@ impl DetectionStudy {
     /// Run the filters over one IXP's samples, pairing each with its
     /// registry entry.
     pub fn analyze_ixp(world: &World, ixp: IxpId, samples: &[InterfaceSamples]) -> Self {
+        let _sp = rp_obs::span("core.filters.analyze_ixp");
         let cfg = FilterConfig::default();
         let entries: HashMap<_, _> = world
             .registry
@@ -44,6 +45,7 @@ impl DetectionStudy {
                 analyzed.push(a);
             }
         }
+        stats.publish_metrics();
         DetectionStudy {
             ixp,
             analyzed,
@@ -77,6 +79,7 @@ pub struct DetectionReport {
 impl DetectionReport {
     /// Probe and analyze every studied IXP.
     pub fn run(world: &World, campaign: &Campaign) -> Self {
+        let _sp = rp_obs::span("core.detect.run");
         let mut studies = Vec::new();
         let mut stats = FilterStats::default();
         for (ixp, samples) in campaign.probe_all(world) {

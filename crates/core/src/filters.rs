@@ -45,6 +45,18 @@ impl Discard {
         Discard::LgConsistent,
         Discard::AsnChange,
     ];
+
+    /// Stable snake_case key for reports and metric names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Discard::SampleSize => "sample_size",
+            Discard::TtlSwitch => "ttl_switch",
+            Discard::TtlMatch => "ttl_match",
+            Discard::RttConsistent => "rtt_consistent",
+            Discard::LgConsistent => "lg_consistent",
+            Discard::AsnChange => "asn_change",
+        }
+    }
 }
 
 /// Filter thresholds (defaults = the paper's).
@@ -155,6 +167,39 @@ impl FilterStats {
             self.lg_consistent,
             self.asn_change,
         ]
+    }
+
+    /// Push this accounting into the process-wide metrics registry
+    /// (`core.filters.*`). A no-op while collection is disabled, so the
+    /// per-IXP call in the detection study costs one branch.
+    pub fn publish_metrics(&self) {
+        if !rp_obs::enabled() {
+            return;
+        }
+        rp_obs::counter!("core.filters.probed").add(self.probed as u64);
+        rp_obs::counter!("core.filters.analyzed").add(self.analyzed as u64);
+        rp_obs::counter!("core.filters.discard.sample_size").add(self.sample_size as u64);
+        rp_obs::counter!("core.filters.discard.ttl_switch").add(self.ttl_switch as u64);
+        rp_obs::counter!("core.filters.discard.ttl_match").add(self.ttl_match as u64);
+        rp_obs::counter!("core.filters.discard.rtt_consistent").add(self.rtt_consistent as u64);
+        rp_obs::counter!("core.filters.discard.lg_consistent").add(self.lg_consistent as u64);
+        rp_obs::counter!("core.filters.discard.asn_change").add(self.asn_change as u64);
+    }
+
+    /// The filter funnel as a JSON object: interfaces probed, discards per
+    /// stage in application order, and the analyzed remainder (the run
+    /// report's uniform rendering of this accounting).
+    pub fn funnel_json(&self) -> serde_json::Value {
+        let stages = Discard::ORDER
+            .iter()
+            .zip(self.in_order())
+            .map(|(d, n)| (d.key().to_string(), serde_json::json!(n)))
+            .collect();
+        serde_json::json!({
+            "probed": self.probed,
+            "discards": serde_json::Value::Object(stages),
+            "analyzed": self.analyzed,
+        })
     }
 }
 
@@ -396,6 +441,97 @@ mod tests {
         let s = samples(vec![(LgOperator::Pch, healthy(12, 1.0, 255))]);
         let a = apply(&s, &entry("10.0.2.2", vec![]), &FilterConfig::default()).unwrap();
         assert_eq!(a.asn, None);
+    }
+
+    fn stats_from(outcomes: &[Result<AnalyzedInterface, Discard>]) -> FilterStats {
+        let mut s = FilterStats::default();
+        for o in outcomes {
+            s.record(o);
+        }
+        s
+    }
+
+    fn ok() -> Result<AnalyzedInterface, Discard> {
+        Ok(AnalyzedInterface {
+            ip: "10.0.2.2".parse().unwrap(),
+            min_rtt_ms: 1.0,
+            asn: None,
+        })
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = stats_from(&[ok(), Err(Discard::TtlSwitch), Err(Discard::SampleSize)]);
+        let b = stats_from(&[Err(Discard::RttConsistent), ok(), ok()]);
+        let c = stats_from(&[Err(Discard::AsnChange), Err(Discard::LgConsistent)]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+        assert_eq!(left.probed, 8);
+        assert_eq!(left.analyzed, 3);
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let a = stats_from(&[ok(), Err(Discard::TtlMatch), Err(Discard::TtlMatch)]);
+        let mut merged = a.clone();
+        merged.merge(&FilterStats::default());
+        assert_eq!(merged, a);
+        let mut from_empty = FilterStats::default();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+
+    #[test]
+    fn in_order_tracks_application_order() {
+        // Record one discard per stage, in reverse application order; the
+        // report must still present them in Discard::ORDER positions, and
+        // merging must not shuffle stages into each other.
+        let mut stats = FilterStats::default();
+        for d in Discard::ORDER.iter().rev() {
+            stats.record(&Err(*d));
+        }
+        assert_eq!(stats.in_order(), [1; 6]);
+        for (k, d) in Discard::ORDER.iter().enumerate() {
+            let solo = stats_from(&[Err(*d)]);
+            let mut expected = [0usize; 6];
+            expected[k] = 1;
+            assert_eq!(solo.in_order(), expected, "{d:?} at position {k}");
+            let mut merged = stats.clone();
+            merged.merge(&solo);
+            let mut want = [1usize; 6];
+            want[k] = 2;
+            assert_eq!(merged.in_order(), want, "{d:?} merge stability");
+        }
+    }
+
+    #[test]
+    fn funnel_json_totals_balance() {
+        let stats = stats_from(&[
+            ok(),
+            ok(),
+            Err(Discard::SampleSize),
+            Err(Discard::RttConsistent),
+        ]);
+        let v = stats.funnel_json();
+        assert_eq!(v.get("probed").and_then(|p| p.as_u64()), Some(4));
+        assert_eq!(v.get("analyzed").and_then(|a| a.as_u64()), Some(2));
+        let discards = v.get("discards").and_then(|d| d.as_object()).unwrap();
+        assert_eq!(
+            discards.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            Discard::ORDER.iter().map(|d| d.key()).collect::<Vec<_>>()
+        );
+        let total: u64 = discards.iter().filter_map(|(_, n)| n.as_u64()).sum();
+        assert_eq!(total + 2, 4);
     }
 
     #[test]

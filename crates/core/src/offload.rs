@@ -103,6 +103,7 @@ impl<'w> OffloadStudy<'w> {
     /// providers, every member of its home IXPs (tier-1s included, since
     /// they sit at ESpanix), and its GÉANT-partner NRENs.
     pub fn new(world: &'w World) -> Self {
+        let _sp = rp_obs::span("core.offload.new");
         let topo = &world.topology;
         let mut eligible = vec![true; topo.len()];
         eligible[world.vantage.index()] = false;
@@ -209,12 +210,23 @@ impl<'w> OffloadStudy<'w> {
     /// The memoized per-IXP cones for `group`, computed in parallel on
     /// first use (one IXP per worker).
     fn group_cones(&self, group: PeerGroup) -> &[NetworkSet] {
-        self.cones[group.index()].get_or_init(|| {
+        let cell = &self.cones[group.index()];
+        if let Some(cones) = cell.get() {
+            rp_obs::counter!("core.offload.cone_cache.hits").inc();
+            return cones;
+        }
+        rp_obs::counter!("core.offload.cone_cache.misses").inc();
+        cell.get_or_init(|| {
+            let sp = rp_obs::span("core.offload.cone_build");
+            let parent = sp.path();
             self.world
                 .scene
                 .ixps
                 .par_iter()
-                .map(|x| self.reachable_cone_uncached(&[x.id], group))
+                .map(|x| {
+                    let _sp = rp_obs::span_under(&parent, "core.offload.single_cone");
+                    self.reachable_cone_uncached(&[x.id], group)
+                })
                 .collect()
         })
     }
@@ -235,7 +247,7 @@ impl<'w> OffloadStudy<'w> {
         out
     }
 
-    /// Reference implementation of [`reachable_cone`] that recomputes the
+    /// Reference implementation of [`OffloadStudy::reachable_cone`] that recomputes the
     /// cone union from the member lists, bypassing the cache. Kept for the
     /// cache-consistency tests and the cached-vs-uncached benchmark.
     pub fn reachable_cone_uncached(&self, ixps: &[IxpId], group: PeerGroup) -> NetworkSet {
@@ -258,6 +270,7 @@ impl<'w> OffloadStudy<'w> {
     /// over the complete row set, so the order (and its deterministic
     /// `IxpId` tie-break) is independent of scheduling.
     pub fn single_ixp_ranking(&self) -> Vec<(IxpId, [Bps; 4])> {
+        let _sp = rp_obs::span("core.offload.ranking");
         let group_cones: [&[NetworkSet]; 4] =
             [0, 1, 2, 3].map(|k| self.group_cones(PeerGroup::ALL[k]));
         let mut rows: Vec<(IxpId, [Bps; 4])> = self
@@ -312,7 +325,7 @@ impl<'w> OffloadStudy<'w> {
         self.greedy_with_cones(max_steps, metric, self.group_cones(group))
     }
 
-    /// [`greedy_by`] with the per-IXP cones recomputed from scratch,
+    /// [`OffloadStudy::greedy_by`] with the per-IXP cones recomputed from scratch,
     /// bypassing the cache. Kept for the cache-consistency tests and the
     /// cached-vs-uncached benchmark.
     pub fn greedy_by_uncached(
@@ -350,6 +363,7 @@ impl<'w> OffloadStudy<'w> {
         metric: GreedyMetric,
         cones: &[NetworkSet],
     ) -> Vec<GreedyStep> {
+        let _sp = rp_obs::span("core.offload.greedy");
         let topo = &self.world.topology;
         let mut covered = NetworkSet::new(topo.len());
         let mut remaining_in = self.world.contributions.total_inbound();
@@ -385,6 +399,7 @@ impl<'w> OffloadStudy<'w> {
                 let gain = if round == 0 {
                     bound[pos]
                 } else {
+                    rp_obs::counter!("core.offload.greedy.reevaluations").inc();
                     let g = self.marginal_gain(&cones[unchosen[pos].index()], &covered, metric);
                     bound[pos] = g;
                     g

@@ -109,6 +109,8 @@ pub struct World {
 impl World {
     /// Build the scenario deterministically from its config.
     pub fn build(cfg: &WorldConfig) -> World {
+        let sp = rp_obs::span("core.world.build");
+        let build_path = sp.path();
         let mut topology = generate(&cfg.topology);
 
         // The study network: an NREN pinned to the configured city
@@ -181,8 +183,12 @@ impl World {
         // the two run on separate workers; both only read the finished
         // topology/scene, so the result is identical to the serial order.
         let (registry, (view, contributions)) = rayon::join(
-            || Registry::from_scene(&scene, &topology),
             || {
+                let _sp = rp_obs::span_under(&build_path, "core.world.registry_crawl");
+                Registry::from_scene(&scene, &topology)
+            },
+            || {
+                let _sp = rp_obs::span_under(&build_path, "core.world.routing_and_traffic");
                 let view = RoutingView::new(&topology, vantage);
                 let contributions = contributions(&topology, &view, &cfg.traffic);
                 (view, contributions)

@@ -29,6 +29,8 @@ impl DecayFit {
 /// (`fractions[0]` should be 1). Zero or negative fractions are excluded
 /// (log undefined); fewer than two usable points yield `None`.
 pub fn fit_decay(fractions: &[f64]) -> Option<DecayFit> {
+    let _sp = rp_obs::span("econ.fit.decay");
+    rp_obs::counter!("econ.fit.calls").inc();
     let points: Vec<(f64, f64)> = fractions
         .iter()
         .enumerate()
@@ -39,6 +41,7 @@ pub fn fit_decay(fractions: &[f64]) -> Option<DecayFit> {
     if points.len() < 2 {
         return None;
     }
+    rp_obs::counter!("econ.fit.points").add(points.len() as u64);
     // Least squares for y = −b·k through the origin: b = −Σk·y / Σk².
     let sum_ky: f64 = points.iter().map(|(k, y)| k * y).sum();
     let sum_kk: f64 = points.iter().map(|(k, _)| k * k).sum();

@@ -221,6 +221,7 @@ fn remote_eligible(kind: AsType) -> bool {
 
 /// Build the scene: memberships, attachments, pathologies.
 pub fn build_scene(topo: &Topology, metas: &[IxpMeta], cfg: &SceneConfig) -> IxpScene {
+    let _sp = rp_obs::span("ixp.build_scene");
     let providers = default_providers();
     let n = topo.len();
 

@@ -57,6 +57,7 @@ impl Registry {
     /// Derive the registry from a scene: listed interfaces at IXPs that have
     /// looking-glass servers.
     pub fn from_scene(scene: &IxpScene, topo: &Topology) -> Registry {
+        let _sp = rp_obs::span("ixp.registry.crawl");
         let listings = scene
             .ixps
             .iter()

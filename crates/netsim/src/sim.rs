@@ -124,6 +124,18 @@ pub struct Network {
     now: SimTime,
     next_mac: u64,
     events_processed: u64,
+    /// Frames dropped because a device transmitted on an unconnected port.
+    dropped_unconnected: u64,
+    /// Largest per-link transmit-queue depth seen (frames waiting ahead of
+    /// a newly enqueued frame, plus itself). Only tracked while
+    /// observability is on — see `obs_active`.
+    queue_depth_hwm: u64,
+    /// `rp_obs::enabled()` sampled at run start: the event loop is the
+    /// hottest code in the repo, so per-event work reads one bool instead
+    /// of the atomic, and counters flush to the registry once per run.
+    obs_active: bool,
+    obs_flushed_events: u64,
+    obs_flushed_drops: u64,
 }
 
 impl Network {
@@ -138,6 +150,11 @@ impl Network {
             now: SimTime::ZERO,
             next_mac: 1,
             events_processed: 0,
+            dropped_unconnected: 0,
+            queue_depth_hwm: 0,
+            obs_active: false,
+            obs_flushed_events: 0,
+            obs_flushed_drops: 0,
         }
     }
 
@@ -265,8 +282,36 @@ impl Network {
         self.events_processed
     }
 
+    /// Frames dropped so far at unconnected ports.
+    pub fn frames_dropped_unconnected(&self) -> u64 {
+        self.dropped_unconnected
+    }
+
+    /// Largest per-link transmit-queue depth observed (0 unless a run
+    /// executed with observability enabled).
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.queue_depth_hwm
+    }
+
+    /// Push the run's event/drop deltas and queue-depth high-water mark to
+    /// the process-wide metrics registry.
+    fn flush_obs(&mut self) {
+        if !self.obs_active {
+            return;
+        }
+        rp_obs::counter!("netsim.sim.events_processed")
+            .add(self.events_processed - self.obs_flushed_events);
+        self.obs_flushed_events = self.events_processed;
+        rp_obs::counter!("netsim.sim.frames_dropped_unconnected")
+            .add(self.dropped_unconnected - self.obs_flushed_drops);
+        self.obs_flushed_drops = self.dropped_unconnected;
+        rp_obs::gauge!("netsim.link.queue_depth_hwm").record_max(self.queue_depth_hwm);
+    }
+
     /// Run until the queue drains or the next event lies beyond `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.obs_active = rp_obs::enabled();
+        let _sp = rp_obs::span("netsim.run");
         while let Some(at) = self.queue.peek_time() {
             if at > deadline {
                 break;
@@ -276,14 +321,18 @@ impl Network {
             self.dispatch(event);
         }
         self.now = self.now.max(deadline);
+        self.flush_obs();
     }
 
     /// Run until no events remain.
     pub fn run_to_completion(&mut self) {
+        self.obs_active = rp_obs::enabled();
+        let _sp = rp_obs::span("netsim.run");
         while let Some((at, event)) = self.queue.pop() {
             self.now = at;
             self.dispatch(event);
         }
+        self.flush_obs();
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -322,6 +371,7 @@ impl Network {
                 Action::Send { port, frame, after } => {
                     let Some(att) = self.nodes[node_id.index()].ports.get(port.index()).copied()
                     else {
+                        self.dropped_unconnected += 1;
                         continue; // unconnected port: drop
                     };
                     let ready = self.now + after;
@@ -332,6 +382,17 @@ impl Network {
                     let tx_time = link.delay.serialization(frame.wire_size());
                     let dir = att.dir as usize;
                     let start = ready.max(link.busy_until[dir]);
+                    if self.obs_active {
+                        // Queue depth behind this frame, in frames: backlog
+                        // wait divided by one serialization time, plus the
+                        // frame itself. Pure read — never feeds back into
+                        // the simulation.
+                        let tx_ns = tx_time.nanos();
+                        if tx_ns > 0 && start > ready {
+                            let depth = (start.nanos() - ready.nanos()) / tx_ns + 1;
+                            self.queue_depth_hwm = self.queue_depth_hwm.max(depth);
+                        }
+                    }
                     let tx_done = start + tx_time;
                     link.busy_until[dir] = tx_done;
                     let delay = link.delay.sample(start, &mut link.rng);

@@ -1,0 +1,283 @@
+//! Process-wide metrics registry: counters, high-water-mark gauges, and
+//! fixed-bucket histograms.
+//!
+//! Handles are `&'static` — registration leaks one small allocation per
+//! distinct name (bounded by the instrumentation sites in the codebase) so
+//! the hot path touches only lock-free atomics. Names follow the
+//! `<crate>.<subsystem>.<name>` convention. Use the [`crate::counter!`],
+//! [`crate::gauge!`], and [`crate::histogram!`] macros at call sites: they
+//! cache the handle in a per-site `OnceLock`, so the registry lock is taken
+//! once per site per process.
+//!
+//! All mutators are gated on [`crate::enabled`]; while collection is off
+//! they cost one relaxed load and a branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Histogram bounds for round-trip times in milliseconds (upper edges;
+/// values above the last bound land in an overflow bucket).
+pub const RTT_MS_BUCKETS: &[f64] = &[
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0,
+];
+
+/// Histogram bounds for span durations in microseconds — 10 µs up to
+/// 10 minutes, roughly log-spaced.
+pub const DURATION_US_BUCKETS: &[f64] = &[
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+    60_000_000.0,
+    600_000_000.0,
+];
+
+/// A monotonically increasing event counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. A no-op while collection is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A high-water-mark gauge: keeps the maximum of every recorded value.
+#[derive(Debug)]
+pub struct Gauge {
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Raise the high-water mark to `v` if larger. A no-op while
+    /// collection is disabled.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if crate::enabled() {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current high-water mark (zero if nothing recorded).
+    pub fn get(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `≤ bounds[i]`
+/// (first matching bound); one extra overflow bucket catches the rest.
+/// Tracks total count and an approximate sum (milli-units, so fractional
+/// RTTs accumulate without floats in the atomic).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_milli: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation. A no-op while collection is disabled.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let milli = if v.is_finite() && v > 0.0 {
+            (v * 1_000.0) as u64
+        } else {
+            0
+        };
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    /// Upper bucket edges this histogram was registered with.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate sum of observations (milli-unit resolution).
+    pub fn sum(&self) -> f64 {
+        self.sum_milli.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_milli.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Resolve (or register) the counter `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg.entry(name).or_insert_with(|| {
+        Metric::Counter(Box::leak(Box::new(Counter {
+            value: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// Resolve (or register) the gauge `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg.entry(name).or_insert_with(|| {
+        Metric::Gauge(Box::leak(Box::new(Gauge {
+            max: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// Resolve (or register) the histogram `name` with the given bucket
+/// bounds. The bounds of the first registration win.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str, bounds: &'static [f64]) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    match reg.entry(name).or_insert_with(|| {
+        let buckets: Box<[AtomicU64]> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Metric::Histogram(Box::leak(Box::new(Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name} already registered with a different kind"),
+    }
+}
+
+/// The shared histogram every closed span feeds its duration into (µs).
+pub fn span_duration_histogram() -> &'static Histogram {
+    static CELL: OnceLock<&'static Histogram> = OnceLock::new();
+    CELL.get_or_init(|| histogram("obs.span.duration_us", DURATION_US_BUCKETS))
+}
+
+/// A point-in-time copy of one registered metric's value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge high-water mark.
+    Gauge(u64),
+    /// Histogram state: upper bounds, per-bucket counts (last = overflow),
+    /// total count, approximate sum.
+    Histogram {
+        /// Upper bucket edges.
+        bounds: &'static [f64],
+        /// Per-bucket counts; the last entry is the overflow bucket.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Approximate sum of observations.
+        sum: f64,
+    },
+}
+
+/// Snapshot every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    let reg = registry().lock().expect("metrics registry lock");
+    reg.iter()
+        .map(|(&name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram {
+                    bounds: h.bounds(),
+                    buckets: h.bucket_counts(),
+                    count: h.count(),
+                    sum: h.sum(),
+                },
+            };
+            (name, v)
+        })
+        .collect()
+}
+
+/// Zero every registered metric (registrations persist).
+pub(crate) fn reset() {
+    let reg = registry().lock().expect("metrics registry lock");
+    for m in reg.values() {
+        match m {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Run-report assembly: the span tree plus metric snapshots, serialized
+//! as one JSON document, and a human-readable trace rendering for
+//! `--trace`.
+//!
+//! The report is assembled *after* the instrumented work finishes (so
+//! every thread-local span collector has flushed) and written wherever the
+//! caller points it — `repro` defaults to `results/run_report.json`.
+
+use crate::metrics::{self, MetricValue};
+use crate::span::{self, SpanNode};
+use serde_json::{json, Value};
+use std::path::Path;
+
+/// Builder for one run's report document.
+///
+/// Callers push named sections (meta, world summary, filter funnel, …) in
+/// the order they should appear; [`RunReport::finish`] appends the span
+/// tree and metric snapshot taken at that moment.
+#[derive(Default)]
+pub struct RunReport {
+    sections: Vec<(String, Value)>,
+}
+
+impl RunReport {
+    /// Start an empty report.
+    pub fn new() -> RunReport {
+        RunReport::default()
+    }
+
+    /// Append a named section (document order is insertion order).
+    pub fn section(&mut self, name: &str, value: Value) {
+        self.sections.push((name.to_string(), value));
+    }
+
+    /// Close the report: snapshot spans and metrics now and produce the
+    /// full JSON document.
+    pub fn finish(self) -> Value {
+        let mut entries: Vec<(String, Value)> = self.sections;
+        entries.push(("spans".to_string(), span_tree_json()));
+        entries.push(("metrics".to_string(), metrics_json()));
+        Value::Object(entries)
+    }
+
+    /// [`RunReport::finish`] plus write to `path` (parent directories are
+    /// created).
+    pub fn write(self, path: &Path) -> std::io::Result<()> {
+        let doc = self.finish();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text + "\n")
+    }
+}
+
+fn node_json(n: &SpanNode) -> Value {
+    json!({
+        "name": n.name,
+        "count": n.count,
+        "total_ns": n.total_ns,
+        "self_ns": n.self_ns,
+        "window_ns": n.window_ns,
+        "first_start_ns": n.first_start_ns,
+        "children": Value::Array(n.children.iter().map(node_json).collect()),
+    })
+}
+
+/// The aggregated span tree as JSON (see [`span::snapshot_tree`]).
+pub fn span_tree_json() -> Value {
+    Value::Array(span::snapshot_tree().iter().map(node_json).collect())
+}
+
+/// Every registered metric as a JSON object keyed by metric name.
+pub fn metrics_json() -> Value {
+    let entries = metrics::snapshot()
+        .into_iter()
+        .map(|(name, v)| {
+            let value = match v {
+                MetricValue::Counter(n) => json!({"type": "counter", "value": n}),
+                MetricValue::Gauge(n) => json!({"type": "gauge", "max": n}),
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => json!({
+                    "type": "histogram",
+                    "bounds": bounds,
+                    "buckets": buckets,
+                    "count": count,
+                    "sum": sum,
+                }),
+            };
+            (name.to_string(), value)
+        })
+        .collect();
+    Value::Object(entries)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(out: &mut String, n: &SpanNode, depth: usize) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!(
+        "{}  count={} total={} self={} window={}\n",
+        n.name,
+        n.count,
+        fmt_ns(n.total_ns),
+        fmt_ns(n.self_ns),
+        fmt_ns(n.window_ns),
+    ));
+    for c in &n.children {
+        render_node(out, c, depth + 1);
+    }
+}
+
+/// Render the current span tree as an indented human-readable listing
+/// (what `repro --trace` prints to stderr).
+pub fn render_trace() -> String {
+    let mut out = String::new();
+    for root in span::snapshot_tree() {
+        render_node(&mut out, &root, 0);
+    }
+    out
+}

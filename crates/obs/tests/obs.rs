@@ -1,0 +1,190 @@
+//! Unit/integration tests for the observability substrate.
+//!
+//! Tests share the process-wide registry and enable flag, so every test
+//! body runs under one lock and starts from `rp_obs::reset()`.
+
+use rp_obs::metrics::{self, MetricValue, RTT_MS_BUCKETS};
+use rp_obs::{counter, gauge, histogram, span, span_under};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    rp_obs::enable();
+    rp_obs::reset();
+    guard
+}
+
+fn find<'a>(tree: &'a [rp_obs::span::SpanNode], name: &str) -> &'a rp_obs::span::SpanNode {
+    tree.iter()
+        .find(|n| n.name == name)
+        .unwrap_or_else(|| panic!("span {name} not in tree"))
+}
+
+#[test]
+fn spans_nest_and_aggregate_by_path() {
+    let _g = serial();
+    {
+        let _root = span("root");
+        for _ in 0..3 {
+            let _child = span("child");
+        }
+    }
+    let tree = rp_obs::span::snapshot_tree();
+    let root = find(&tree, "root");
+    assert_eq!(root.count, 1);
+    assert_eq!(root.children.len(), 1);
+    let child = &root.children[0];
+    assert_eq!(child.name, "child");
+    assert_eq!(child.count, 3);
+    assert!(child.window_ns <= root.window_ns);
+    assert!(root.total_ns >= child.total_ns);
+    assert_eq!(root.self_ns, root.total_ns - child.total_ns);
+}
+
+#[test]
+fn span_under_parents_across_threads() {
+    let _g = serial();
+    {
+        let parent = span("parallel_root");
+        let path = parent.path();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = path.clone();
+                s.spawn(move || {
+                    let _w = span_under(&p, "worker");
+                });
+            }
+        });
+    }
+    let tree = rp_obs::span::snapshot_tree();
+    let root = find(&tree, "parallel_root");
+    let worker = &root.children[0];
+    assert_eq!(worker.name, "worker");
+    assert_eq!(worker.count, 4);
+    // Scoped workers join before the parent closes, so their aggregated
+    // wall-clock window nests inside the parent's.
+    assert!(worker.first_start_ns >= root.first_start_ns);
+    assert!(worker.window_ns <= root.window_ns);
+}
+
+#[test]
+fn span_under_nests_naturally_on_same_thread() {
+    let _g = serial();
+    {
+        let parent = span("serial_root");
+        let path = parent.path();
+        // Same thread, stack non-empty: the explicit parent is redundant
+        // and the span must land at the identical path.
+        let _w = span_under(&path, "worker");
+    }
+    let tree = rp_obs::span::snapshot_tree();
+    let root = find(&tree, "serial_root");
+    assert_eq!(root.children.len(), 1);
+    assert_eq!(root.children[0].name, "worker");
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    let _g = serial();
+    rp_obs::disable();
+    {
+        let _root = span("invisible");
+    }
+    rp_obs::enable();
+    assert!(rp_obs::span::snapshot_tree().is_empty());
+}
+
+#[test]
+fn counters_gauges_histograms_register_and_count() {
+    let _g = serial();
+    counter!("test.obs.hits").add(5);
+    counter!("test.obs.hits").inc();
+    gauge!("test.obs.depth").record_max(3);
+    gauge!("test.obs.depth").record_max(9);
+    gauge!("test.obs.depth").record_max(7);
+    let h = histogram!("test.obs.rtt_ms", RTT_MS_BUCKETS);
+    h.observe(0.3);
+    h.observe(12.0);
+    h.observe(5000.0); // overflow bucket
+
+    let snap = metrics::snapshot();
+    let get = |name: &str| {
+        snap.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("metric {name} not registered"))
+    };
+    assert!(matches!(get("test.obs.hits"), MetricValue::Counter(6)));
+    assert!(matches!(get("test.obs.depth"), MetricValue::Gauge(9)));
+    match get("test.obs.rtt_ms") {
+        MetricValue::Histogram {
+            bounds,
+            buckets,
+            count,
+            sum,
+        } => {
+            assert_eq!(bounds, RTT_MS_BUCKETS);
+            assert_eq!(buckets.len(), RTT_MS_BUCKETS.len() + 1);
+            assert_eq!(count, 3);
+            assert_eq!(buckets[0], 1); // 0.3 ≤ 0.5
+            assert_eq!(*buckets.last().unwrap(), 1); // 5000 overflows
+            assert!((sum - 5012.3).abs() < 0.01);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn disabled_metrics_do_not_move() {
+    let _g = serial();
+    rp_obs::disable();
+    counter!("test.obs.frozen").add(100);
+    gauge!("test.obs.frozen_gauge").record_max(100);
+    histogram!("test.obs.frozen_hist", RTT_MS_BUCKETS).observe(1.0);
+    rp_obs::enable();
+    assert_eq!(counter!("test.obs.frozen").get(), 0);
+    assert_eq!(gauge!("test.obs.frozen_gauge").get(), 0);
+    assert_eq!(
+        histogram!("test.obs.frozen_hist", RTT_MS_BUCKETS).count(),
+        0
+    );
+}
+
+#[test]
+fn report_document_has_spans_and_metrics() {
+    let _g = serial();
+    {
+        let _root = span("report_root");
+        counter!("test.obs.report_counter").inc();
+    }
+    let mut report = rp_obs::report::RunReport::new();
+    report.section("meta", serde_json::json!({"seed": 42u64}));
+    let doc = report.finish();
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    let back = serde_json::from_str(&text).expect("report round-trips");
+    assert_eq!(
+        back.get("meta")
+            .and_then(|m| m.get("seed"))
+            .and_then(|s| s.as_u64()),
+        Some(42)
+    );
+    let spans = back.get("spans").and_then(|s| s.as_array()).unwrap();
+    assert!(spans
+        .iter()
+        .any(|n| n.get("name").and_then(|v| v.as_str()) == Some("report_root")));
+    let metrics = back.get("metrics").unwrap();
+    assert_eq!(
+        metrics
+            .get("test.obs.report_counter")
+            .and_then(|c| c.get("value"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    let trace = rp_obs::report::render_trace();
+    assert!(trace.contains("report_root"));
+    assert!(trace.contains("count=1"));
+}

@@ -156,6 +156,7 @@ fn address_scale(kind: AsType) -> f64 {
 /// Generate a topology from the config. Panics only on configs that are
 /// structurally impossible (zero tier-1s with nonzero stubs).
 pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let _sp = rp_obs::span("topology.generate");
     assert!(cfg.n_tier1 >= 1, "need at least one tier-1");
     let mut rng = seed::rng(cfg.seed, "topology", 0);
 

@@ -158,6 +158,7 @@ fn rank_curve(rank: usize, n: usize, cfg: &TrafficConfig) -> f64 {
 /// Build per-network average contributions for `vantage` under routing
 /// `view`.
 pub fn contributions(topo: &Topology, view: &RoutingView, cfg: &TrafficConfig) -> Contributions {
+    let _sp = rp_obs::span("traffic.contributions");
     let n = topo.len();
     let vantage = view.vantage();
 

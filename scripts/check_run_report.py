@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate for the `repro --report` run report.
+
+Fails (exit 1) when the report is missing or malformed, when any recorded
+span has a zero event count, when a span that must be present for a full
+`all` run is absent, or when the filter funnel does not balance. Mirrors
+the assertions of tests/report_schema.rs so a broken report fails CI even
+if someone runs the repro step without the test suite.
+"""
+
+import json
+import sys
+
+# Spans that a full `repro all --scale test` run must record.
+REQUIRED_SPANS = [
+    "repro.run",
+    "core.world.build",
+    "core.campaign.probe_all",
+    "core.campaign.probe_ixp",
+    "core.filters.analyze_ixp",
+    "core.offload.ranking",
+    "core.offload.greedy",
+    "netsim.run",
+    "econ.fit.decay",
+]
+
+errors = []
+
+
+def walk(node, parent_window, seen):
+    name = node["name"]
+    seen.add(name)
+    if node["count"] < 1:
+        errors.append(f"span {name}: zero events recorded")
+    if node["window_ns"] > parent_window:
+        errors.append(
+            f"span {name}: window {node['window_ns']}ns exceeds parent {parent_window}ns"
+        )
+    if node["self_ns"] > node["total_ns"]:
+        errors.append(f"span {name}: self time exceeds total")
+    for child in node["children"]:
+        walk(child, node["window_ns"], seen)
+
+
+def main(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        errors.append(f"report missing: {e}")
+        return
+    except ValueError as e:
+        errors.append(f"report does not parse: {e}")
+        return
+
+    seen = set()
+    spans = report.get("spans", [])
+    if not spans:
+        errors.append("no spans recorded")
+    for root in spans:
+        walk(root, float("inf"), seen)
+    for required in REQUIRED_SPANS:
+        if required not in seen:
+            errors.append(f"required span {required} missing")
+
+    funnel = report.get("filter_funnel")
+    if not isinstance(funnel, dict):
+        errors.append("filter_funnel section missing")
+    else:
+        discarded = sum(funnel["discards"].values())
+        if funnel["probed"] != funnel["analyzed"] + discarded:
+            errors.append(
+                f"funnel does not balance: {funnel['probed']} probed vs "
+                f"{funnel['analyzed']} analyzed + {discarded} discarded"
+            )
+        if funnel["probed"] == 0:
+            errors.append("funnel is empty for a full detection run")
+
+    hits = report.get("metrics", {}).get("core.offload.cone_cache.hits", {})
+    if hits.get("value", 0) == 0:
+        errors.append("cone cache recorded no hits across the sweeps")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: check_run_report.py RUN_REPORT_JSON", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
+    if errors:
+        for e in errors:
+            print(f"check_run_report: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_run_report: {sys.argv[1]} OK")

@@ -91,6 +91,48 @@ fn reachable_cone_cache_composes_exactly() {
 }
 
 #[test]
+fn instrumentation_is_result_invariant() {
+    // The rp-obs spans and counters threaded through the hot paths must be
+    // pure observers: enabling them cannot perturb a single result. (The
+    // byte-level guard on the emitted JSON lives in tests/report_schema.rs;
+    // this is the in-process version over the same pipelines.)
+    let world = World::build(&WorldConfig::test_scale(42));
+    let campaign = Campaign::default_paper();
+    let plain_probes = campaign.probe_all(&world);
+    let plain_ranking = OffloadStudy::new(&world).single_ixp_ranking();
+    let plain_greedy =
+        OffloadStudy::new(&world).greedy_by(PeerGroup::All, 20, GreedyMetric::Traffic);
+
+    rp_obs::enable();
+    let instrumented_world = World::build(&WorldConfig::test_scale(42));
+    let instrumented_probes = campaign.probe_all(&instrumented_world);
+    let instrumented_ranking = OffloadStudy::new(&instrumented_world).single_ixp_ranking();
+    let instrumented_greedy =
+        OffloadStudy::new(&instrumented_world).greedy_by(PeerGroup::All, 20, GreedyMetric::Traffic);
+    rp_obs::disable();
+
+    assert_eq!(world.vantage, instrumented_world.vantage);
+    assert_eq!(world.home_ixps, instrumented_world.home_ixps);
+    assert_eq!(
+        world.registry.total_entries(),
+        instrumented_world.registry.total_entries(),
+        "instrumented registry crawl diverged"
+    );
+    assert_eq!(
+        plain_probes, instrumented_probes,
+        "instrumented campaign produced different samples"
+    );
+    assert_eq!(
+        plain_ranking, instrumented_ranking,
+        "instrumented ranking diverged"
+    );
+    assert_eq!(
+        plain_greedy, instrumented_greedy,
+        "instrumented greedy expansion diverged"
+    );
+}
+
+#[test]
 fn single_ixp_ranking_is_stable() {
     let world = World::build(&WorldConfig::test_scale(42));
     let study = OffloadStudy::new(&world);

@@ -1,0 +1,183 @@
+//! Schema and determinism checks for the `repro --report` run report.
+//!
+//! Drives the real `repro` binary (via `CARGO_BIN_EXE_repro`) at test
+//! scale and asserts that (a) the emitted `run_report.json` parses and its
+//! span tree is well-formed, (b) the filter funnel balances against the
+//! probing metrics, and (c) turning the instrumentation on does not change
+//! a single byte of the scientific outputs under `results/`.
+
+use serde_json::Value;
+use std::path::Path;
+use std::process::Command;
+
+fn repro(out: &Path, extra: &[&str]) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("all")
+        .args(["--scale", "test", "--seed", "42"])
+        .args(["--out", out.to_str().unwrap()])
+        .args(extra)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro {extra:?} failed: {status}");
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rp-report-schema-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Depth-first walk asserting the structural invariants of one span node;
+/// returns the set of names seen.
+fn check_span(node: &Value, parent_window: u64, names: &mut Vec<String>) {
+    let name = node.get("name").and_then(Value::as_str).expect("span name");
+    names.push(name.to_string());
+    let count = node.get("count").and_then(Value::as_u64).expect("count");
+    assert!(count >= 1, "{name}: span recorded zero events");
+    let window = node
+        .get("window_ns")
+        .and_then(Value::as_u64)
+        .expect("window_ns");
+    let total = node
+        .get("total_ns")
+        .and_then(Value::as_u64)
+        .expect("total_ns");
+    let self_ns = node
+        .get("self_ns")
+        .and_then(Value::as_u64)
+        .expect("self_ns");
+    assert!(
+        window <= parent_window,
+        "{name}: child window {window}ns exceeds parent window {parent_window}ns"
+    );
+    assert!(
+        self_ns <= total,
+        "{name}: self time {self_ns}ns exceeds total {total}ns"
+    );
+    for child in node
+        .get("children")
+        .and_then(Value::as_array)
+        .expect("children array")
+    {
+        check_span(child, window, names);
+    }
+}
+
+#[test]
+fn report_schema_and_outputs_are_deterministic() {
+    let with = temp_dir("with");
+    let without = temp_dir("without");
+    repro(&with, &["--report"]);
+    repro(&without, &[]);
+
+    // --- (a) report parses and the span tree is well-formed -------------
+    let raw = std::fs::read_to_string(with.join("run_report.json")).expect("run_report.json");
+    let report: Value = serde_json::from_str(&raw).expect("report parses");
+
+    let meta = report.get("meta").expect("meta section");
+    assert_eq!(meta.get("scale").and_then(Value::as_str), Some("test"));
+    assert_eq!(meta.get("seed").and_then(Value::as_u64), Some(42));
+    assert!(meta.get("threads").and_then(Value::as_u64).unwrap() >= 1);
+
+    let world = report.get("world").expect("world section");
+    let interfaces = world
+        .get("interfaces")
+        .and_then(Value::as_u64)
+        .expect("interface count");
+    assert!(interfaces > 0);
+
+    let spans = report
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans");
+    assert!(!spans.is_empty(), "no spans recorded");
+    let mut names = Vec::new();
+    for root in spans {
+        check_span(root, u64::MAX, &mut names);
+    }
+    for required in [
+        "repro.run",
+        "core.world.build",
+        "core.campaign.probe_all",
+        "core.campaign.probe_ixp",
+        "core.filters.analyze_ixp",
+        "core.offload.ranking",
+        "core.offload.greedy",
+        "netsim.run",
+        "econ.fit.decay",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "span {required} missing from report (have: {names:?})"
+        );
+    }
+
+    // --- (b) the filter funnel balances ---------------------------------
+    let funnel = report.get("filter_funnel").expect("filter_funnel section");
+    let probed = funnel
+        .get("probed")
+        .and_then(Value::as_u64)
+        .expect("funnel probed");
+    let analyzed = funnel
+        .get("analyzed")
+        .and_then(Value::as_u64)
+        .expect("funnel analyzed");
+    let discards = funnel
+        .get("discards")
+        .and_then(Value::as_object)
+        .expect("funnel discards");
+    assert_eq!(discards.len(), 6, "one funnel row per filter stage");
+    let discarded: u64 = discards
+        .iter()
+        .map(|(_, v)| v.as_u64().expect("discard count"))
+        .sum();
+    assert_eq!(
+        probed,
+        analyzed + discarded,
+        "funnel does not balance: {probed} probed vs {analyzed} analyzed + {discarded} discarded"
+    );
+    assert!(probed > 0, "empty funnel for a full detection run");
+
+    let metrics = report.get("metrics").expect("metrics section");
+    let filters_probed = metrics
+        .get("core.filters.probed")
+        .and_then(|m| m.get("value"))
+        .and_then(Value::as_u64)
+        .expect("core.filters.probed counter");
+    assert!(
+        filters_probed >= probed,
+        "filter metric {filters_probed} below funnel total {probed}"
+    );
+    let cache_hits = metrics
+        .get("core.offload.cone_cache.hits")
+        .and_then(|m| m.get("value"))
+        .and_then(Value::as_u64)
+        .expect("cone cache hit counter");
+    assert!(cache_hits > 0, "repeated sweeps should hit the cone cache");
+
+    // --- (c) instrumentation changes no scientific output ---------------
+    let mut compared = 0;
+    for entry in std::fs::read_dir(&without).expect("read plain results") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_name().unwrap();
+        let plain = std::fs::read(&path).expect("plain output");
+        let instrumented = std::fs::read(with.join(name)).expect("instrumented output");
+        assert_eq!(
+            plain,
+            instrumented,
+            "{} differs between --report and plain runs",
+            name.to_string_lossy()
+        );
+        compared += 1;
+    }
+    assert!(compared >= 10, "only {compared} outputs compared");
+
+    let _ = std::fs::remove_dir_all(&with);
+    let _ = std::fs::remove_dir_all(&without);
+}

@@ -1,7 +1,7 @@
 //! Offline vendored stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest surface this workspace's property
-//! tests use — `proptest!`, `prop_assert*`, `prop_oneof!`, [`Just`],
+//! tests use — `proptest!`, `prop_assert*`, `prop_oneof!`, [`Just`](strategy::Just),
 //! `any::<T>()`, numeric-range strategies, tuple strategies, `prop_map`,
 //! and `collection::vec` — on top of a deterministic per-test RNG.
 //!

@@ -1,6 +1,6 @@
 //! Parallel iterator adapters: `par_iter()` / `into_par_iter()` with
 //! `map` and `collect`, evaluated eagerly through
-//! [`par_map_slice`](crate::par_map_slice).
+//! [`par_map_slice`](crate::par_map_slice()).
 
 use crate::par_map_slice;
 use std::sync::Mutex;
