@@ -3,10 +3,15 @@
 //! ```text
 //! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
 //!       [--threads N] [--report [PATH]] [--trace]
+//! repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]
 //! ```
 //!
 //! Run `repro --help` for the experiment list. Text goes to stdout; raw
 //! numbers are written as JSON under `--out` (default `results/`).
+//!
+//! `repro sweep` runs an `rp-scenario` Monte-Carlo sensitivity sweep from a
+//! spec file or a built-in preset and writes the full per-cell statistics
+//! to `<out>/sweeps/<name>.json`.
 //!
 //! `--report [PATH]` additionally records spans and metrics across the
 //! whole pipeline and writes a `run_report.json` (default
@@ -63,24 +68,32 @@ struct Args {
     /// `Some(None)` = `--report` with the default path under `--out`.
     report: Option<Option<PathBuf>>,
     trace: bool,
+    /// Spec file or preset name following the `sweep` subcommand.
+    sweep_spec: Option<String>,
+    /// `--replicates` override for `sweep` (default: the spec's own).
+    replicates: Option<u64>,
 }
 
 fn usage_text() -> String {
     let mut s = String::from(
         "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]\n\
-         \x20            [--threads N] [--report [PATH]] [--trace]\n\nexperiments:\n",
+         \x20            [--threads N] [--report [PATH]] [--trace]\n\
+         \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\nexperiments:\n",
     );
     for chunk in EXPERIMENTS.chunks(8) {
         s.push_str("  ");
         s.push_str(&chunk.join(" | "));
         s.push('\n');
     }
+    s.push_str("\nsweep presets:\n  ");
+    s.push_str(&rp_scenario::ScenarioSpec::preset_names().join(" | "));
     s.push_str(
-        "\nflags:\n\
+        "\n\nflags:\n\
          \x20 --seed N          master seed (default 42)\n\
          \x20 --scale S         world scale: test | paper (default paper)\n\
          \x20 --out DIR         JSON output directory (default results/)\n\
          \x20 --threads N       worker threads, 0 = automatic (default 0)\n\
+         \x20 --replicates N    sweep replicate seeds per cell (default: the spec's)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
          \x20 --trace           print the span tree to stderr\n",
@@ -103,6 +116,8 @@ fn parse_args() -> Args {
         threads: 0,
         report: None,
         trace: false,
+        sweep_spec: None,
+        replicates: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -142,21 +157,58 @@ fn parse_args() -> Args {
                 };
                 args.report = Some(path);
             }
+            "--replicates" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_usage("--replicates requires a positive count"));
+                if n == 0 {
+                    bad_usage("--replicates requires a positive count");
+                }
+                args.replicates = Some(n);
+            }
             "--trace" => args.trace = true,
             "--help" | "-h" => {
                 print!("{}", usage_text());
                 std::process::exit(0);
             }
+            "sweep" => args.experiment = "sweep".to_string(),
             other if !other.starts_with('-') => {
-                if !EXPERIMENTS.contains(&other) {
+                if args.experiment == "sweep" && args.sweep_spec.is_none() {
+                    args.sweep_spec = Some(other.to_string());
+                } else if EXPERIMENTS.contains(&other) {
+                    args.experiment = other.to_string();
+                } else {
                     bad_usage(&format!("unknown experiment {other}"));
                 }
-                args.experiment = other.to_string();
             }
             other => bad_usage(&format!("unknown flag {other}")),
         }
     }
     args
+}
+
+/// Exit with a one-line diagnostic when an output path can't be written
+/// (missing permissions, a file where a directory should be, a full disk).
+/// Exit code 2, like the usage errors — the run itself didn't fail, the
+/// destination did.
+fn fail_write(path: &Path, err: &std::io::Error) -> ! {
+    eprintln!("error: cannot write {}: {err}", path.display());
+    std::process::exit(2);
+}
+
+/// Write `contents` to `path`, creating missing parent directories.
+fn write_output(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                fail_write(path, &e);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        fail_write(path, &e);
+    }
 }
 
 /// Run one experiment under its span and write its text/JSON outputs.
@@ -169,13 +221,11 @@ fn emit(out_dir: &Path, span: &'static str, f: impl FnOnce() -> ExperimentOutput
         "=".repeat(60_usize.saturating_sub(output.id.len()))
     );
     println!("{}", output.text);
-    std::fs::create_dir_all(out_dir).expect("create output dir");
     let path = out_dir.join(format!("{}.json", output.id));
-    std::fs::write(
+    write_output(
         &path,
-        serde_json::to_string_pretty(&output.json).expect("serialize"),
-    )
-    .expect("write json");
+        &serde_json::to_string_pretty(&output.json).expect("serialize"),
+    );
 }
 
 /// Everything the experiments produced that the run report summarizes.
@@ -383,6 +433,110 @@ fn run_experiments(args: &Args) -> RunArtifacts {
     }
 }
 
+/// Resolve the `sweep` spec argument: an existing file is parsed as JSON;
+/// otherwise it must name a built-in preset.
+fn resolve_spec(arg: &str) -> rp_scenario::ScenarioSpec {
+    use rp_scenario::ScenarioSpec;
+    if Path::new(arg).is_file() {
+        let text = match std::fs::read_to_string(arg) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {arg}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match ScenarioSpec::from_json(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {arg}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        ScenarioSpec::preset(arg).unwrap_or_else(|| {
+            bad_usage(&format!(
+                "no spec file or preset named {arg} (presets: {})",
+                ScenarioSpec::preset_names().join(", ")
+            ))
+        })
+    }
+}
+
+/// The `sweep` subcommand: expand the spec, run the replication engine,
+/// print a per-cell digest, and write the full statistics JSON.
+fn run_sweep_command(args: &Args, spec_arg: &str) {
+    let _run = rp_obs::span("repro.run");
+    let spec = resolve_spec(spec_arg);
+    let cfg = rp_scenario::SweepConfig {
+        seed: args.seed,
+        paper_scale: match args.scale.as_str() {
+            "paper" => true,
+            "test" => false,
+            other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
+        },
+        replicates: args.replicates.unwrap_or(spec.default_replicates),
+        confidence: 0.95,
+        resamples: 400,
+    };
+    let cells = spec.cells();
+    let t0 = Instant::now();
+    eprintln!(
+        "sweep {}: {} cells x {} replicates (scale={}, seed={})...",
+        spec.name,
+        cells.len(),
+        cfg.replicates,
+        args.scale,
+        args.seed
+    );
+    let out = rp_scenario::run_sweep(&spec, &cfg);
+    eprintln!("  done [{:.1?}]", t0.elapsed());
+
+    println!(
+        "==== sweep:{} {}",
+        spec.name,
+        "=".repeat(54_usize.saturating_sub(spec.name.len()))
+    );
+    if let Some(cells) = out.get("cells").and_then(serde_json::Value::as_array) {
+        for cell in cells {
+            let label = cell
+                .get("label")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("?");
+            let mark = if cell.get("baseline") == Some(&serde_json::Value::Bool(true)) {
+                " [baseline]"
+            } else {
+                ""
+            };
+            println!("{label}{mark}");
+            for name in ["precision", "recall", "remote_fraction", "econ_margin"] {
+                let m = cell.get("metrics").and_then(|ms| ms.get(name));
+                let mean = m
+                    .and_then(|m| m.get("mean"))
+                    .and_then(serde_json::Value::as_f64)
+                    .unwrap_or(f64::NAN);
+                let ci = m
+                    .and_then(|m| m.get("t_ci"))
+                    .and_then(serde_json::Value::as_array);
+                let (lo, hi) = match ci {
+                    Some(b) if b.len() == 2 => (
+                        b[0].as_f64().unwrap_or(f64::NAN),
+                        b[1].as_f64().unwrap_or(f64::NAN),
+                    ),
+                    _ => (f64::NAN, f64::NAN),
+                };
+                println!("  {name:>16}  {mean:8.4}  95% CI [{lo:8.4}, {hi:8.4}]");
+            }
+        }
+    }
+
+    let path = args.out.join("sweeps").join(format!("{}.json", spec.name));
+    write_output(
+        &path,
+        &serde_json::to_string_pretty(&out).expect("serialize sweep output"),
+    );
+    eprintln!("sweep results: {}", path.display());
+}
+
 fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
     let world = &artifacts.world;
     let mut report = rp_obs::report::RunReport::new();
@@ -414,7 +568,10 @@ fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
             None => serde_json::Value::Null,
         },
     );
-    report.write(path).expect("write run report");
+    // RunReport::write creates missing parent directories itself.
+    if let Err(e) = report.write(path) {
+        fail_write(path, &e);
+    }
     eprintln!("run report: {}", path.display());
 }
 
@@ -434,6 +591,18 @@ fn main() {
         .build_global()
         .expect("install global thread pool");
     eprintln!("worker threads: {}", rayon::current_num_threads());
+
+    if args.experiment == "sweep" {
+        let spec_arg = args
+            .sweep_spec
+            .clone()
+            .unwrap_or_else(|| bad_usage("sweep requires a spec file or preset name"));
+        run_sweep_command(&args, &spec_arg);
+        if args.trace {
+            eprint!("{}", rp_obs::report::render_trace());
+        }
+        return;
+    }
 
     let artifacts = run_experiments(&args);
     // run_experiments dropped the `repro.run` span, so the main thread's

@@ -894,15 +894,12 @@ pub fn decay_fit(world: &World, study: &OffloadStudy) -> ExperimentOutput {
 /// interfaces it uniquely rejects and — the paper's real currency — how many
 /// *false remote classifications* it prevents.
 pub fn filter_ablation(world: &World, campaign: &Campaign) -> ExperimentOutput {
-    use remote_peering::filters::{apply, Discard, FilterConfig, FilterStats};
-    use std::collections::HashMap;
+    use remote_peering::filters::{Discard, FilterConfig};
+    use remote_peering::metrics::{confusion_at, filtered_analysis};
 
-    // Probe once; analyze seven ways.
-    type Probed = Vec<(
-        rp_types::IxpId,
-        Vec<remote_peering::probe::InterfaceSamples>,
-    )>;
-    let probed: Probed = campaign.probe_all(world);
+    // Probe once; analyze seven ways through the shared metric helpers
+    // (the `ablation` sweep preset runs this same path per replicate).
+    let probed = campaign.probe_all(world);
 
     let analyze = |skip: Option<Discard>| -> (usize, usize, usize) {
         // (analyzed, detected remote, false positives vs ground truth)
@@ -911,38 +908,16 @@ pub fn filter_ablation(world: &World, campaign: &Campaign) -> ExperimentOutput {
             ..FilterConfig::default()
         };
         let mut analyzed = 0;
-        let mut remote = 0;
-        let mut false_pos = 0;
-        let mut stats = FilterStats::default();
-        for (ixp, samples) in &probed {
-            let entries: HashMap<_, _> = world
-                .registry
-                .entries(*ixp)
-                .iter()
-                .map(|e| (e.ip, e))
-                .collect();
-            let truth: HashMap<_, _> = world
-                .scene
-                .ixp(*ixp)
-                .members
-                .iter()
-                .map(|m| (m.ip, m.access.is_remote()))
-                .collect();
-            for s in samples {
-                let outcome = apply(s, entries[&s.ip], &cfg);
-                stats.record(&outcome);
-                if let Ok(a) = outcome {
-                    analyzed += 1;
-                    if a.min_rtt_ms >= REMOTENESS_THRESHOLD_MS {
-                        remote += 1;
-                        if !truth[&a.ip] {
-                            false_pos += 1;
-                        }
-                    }
-                }
-            }
+        let mut total = validate::Confusion::default();
+        for (ixp, list) in &filtered_analysis(world, &probed, &cfg) {
+            analyzed += list.len();
+            total.merge(&confusion_at(world, *ixp, list, REMOTENESS_THRESHOLD_MS));
         }
-        (analyzed, remote, false_pos)
+        (
+            analyzed,
+            total.true_positive + total.false_positive,
+            total.false_positive,
+        )
     };
 
     let (base_analyzed, base_remote, base_fp) = analyze(None);
@@ -1003,7 +978,7 @@ pub fn threshold_sweep(
     campaign: &Campaign,
     report: &DetectionReport,
 ) -> ExperimentOutput {
-    use std::collections::HashMap;
+    use remote_peering::metrics::confusion_at;
     let _ = campaign;
     let mut t = TextTable::new(&[
         "threshold (ms)",
@@ -1015,37 +990,17 @@ pub fn threshold_sweep(
     ]);
     let mut rows = Vec::new();
     for threshold in [2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0] {
-        let mut tp = 0usize;
-        let mut fp = 0usize;
-        let mut fne = 0usize;
+        let mut total = validate::Confusion::default();
         for study in &report.studies {
-            let truth: HashMap<_, _> = world
-                .scene
-                .ixp(study.ixp)
-                .members
-                .iter()
-                .map(|m| (m.ip, m.access.is_remote()))
-                .collect();
-            for a in &study.analyzed {
-                let detected = a.min_rtt_ms >= threshold;
-                match (truth[&a.ip], detected) {
-                    (true, true) => tp += 1,
-                    (false, true) => fp += 1,
-                    (true, false) => fne += 1,
-                    (false, false) => {}
-                }
-            }
+            total.merge(&confusion_at(world, study.ixp, &study.analyzed, threshold));
         }
-        let precision = if tp + fp == 0 {
-            1.0
-        } else {
-            tp as f64 / (tp + fp) as f64
-        };
-        let recall = if tp + fne == 0 {
-            1.0
-        } else {
-            tp as f64 / (tp + fne) as f64
-        };
+        let (tp, fp, fne) = (
+            total.true_positive,
+            total.false_positive,
+            total.false_negative,
+        );
+        let precision = total.precision();
+        let recall = total.recall();
         t.row(&[
             format!("{threshold:.0}"),
             (tp + fp).to_string(),

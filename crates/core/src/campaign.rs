@@ -425,8 +425,9 @@ impl Campaign {
                 let prov_far = net.add_switch();
                 net.connect(fabric, prov_ixp, DelayModel::with_one_way_ms(0.05));
                 let origin = WORLD_CITIES[origin_city as usize].location;
-                let wire_ms = world.scene.providers[provider as usize]
+                let wire_ms = (world.scene.providers[provider as usize]
                     .pseudowire_delay_ms(origin, ixp_loc)
+                    * world.config.scene.pseudowire_slack)
                     .max(0.05);
                 net.connect(prov_ixp, prov_far, DelayModel::with_one_way_ms(wire_ms));
                 (prov_far, access_delay_ms)

@@ -37,6 +37,10 @@
 //! - [`validate`] — ground-truth validation (precision/recall against the
 //!   scene, which the detector itself never sees) and the TorIX-style
 //!   route-server RTT cross-check of section 3.3.
+//! - [`metrics`] — scalar per-run metrics (precision/recall/F1, remote
+//!   fraction, offload fractions, viability margin) extracted from one
+//!   probed world under configurable methodology parameters — the unit of
+//!   observation for `rp-scenario` sweeps.
 //! - [`offload`] — the section 4 study: exclusion rules, the four peer
 //!   groups, per-IXP offload potential, greedy IXP expansion, and the
 //!   reachable-interfaces metric (figures 5–10).
@@ -75,6 +79,7 @@ pub mod filters;
 pub mod flattening;
 pub mod identify;
 pub mod implications;
+pub mod metrics;
 pub mod offload;
 pub mod probe;
 pub mod report;

@@ -57,6 +57,35 @@ impl Confusion {
         }
     }
 
+    /// F1 score: harmonic mean of precision and recall. Degenerate cases
+    /// follow [`Confusion::precision`]: a matrix with no remote interfaces
+    /// at all (in truth or prediction) is perfect (1.0); when precision and
+    /// recall are both zero the harmonic mean is 0.0.
+    pub fn f1(&self) -> f64 {
+        if self.true_positive + self.false_positive + self.false_negative == 0 {
+            return 1.0;
+        }
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of classifications that agree with ground truth (1.0 for
+    /// the empty matrix, like [`Confusion::precision`]).
+    pub fn accuracy(&self) -> f64 {
+        let total =
+            self.true_positive + self.false_positive + self.true_negative + self.false_negative;
+        if total == 0 {
+            1.0
+        } else {
+            (self.true_positive + self.true_negative) as f64 / total as f64
+        }
+    }
+
     /// Merge counts.
     pub fn merge(&mut self, other: &Confusion) {
         self.true_positive += other.true_positive;
@@ -168,6 +197,40 @@ mod tests {
         let empty = Confusion::default();
         assert_eq!(empty.precision(), 1.0);
         assert_eq!(empty.recall(), 1.0);
+    }
+
+    #[test]
+    fn f1_and_accuracy_handle_zero_denominators() {
+        // Fully empty matrix: perfect by convention, like precision.
+        let empty = Confusion::default();
+        assert_eq!(empty.f1(), 1.0);
+        assert_eq!(empty.accuracy(), 1.0);
+        // All-negative population with no predictions: no remote exists,
+        // so the remote classifier was never tested — still perfect.
+        let all_neg = Confusion {
+            true_negative: 50,
+            ..Default::default()
+        };
+        assert_eq!(all_neg.f1(), 1.0);
+        assert_eq!(all_neg.accuracy(), 1.0);
+        // Precision and recall both zero: harmonic mean must be 0, not NaN.
+        let all_wrong = Confusion {
+            false_positive: 3,
+            false_negative: 2,
+            ..Default::default()
+        };
+        assert_eq!(all_wrong.f1(), 0.0);
+        assert_eq!(all_wrong.accuracy(), 0.0);
+        // A mixed matrix agrees with the direct formulas.
+        let c = Confusion {
+            true_positive: 8,
+            false_positive: 2,
+            true_negative: 85,
+            false_negative: 5,
+        };
+        let (p, r) = (c.precision(), c.recall());
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert!((c.accuracy() - 93.0 / 100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub struct SceneConfig {
     /// Probability that a member holds a second interface in the same IXP
     /// subnet.
     pub second_interface_prob: f64,
+    /// Multiplier on every IXP's `remote_share` (scenario knob; 1.0 keeps
+    /// the dataset's per-IXP shares, 0.0 removes remote peering entirely).
+    /// The effective share is clamped to 0.95 so memberships stay mixed.
+    pub remote_share_scale: f64,
+    /// Multiplier on remote-provider pseudowire propagation delay (scenario
+    /// knob; >1.0 models longer layer-2 detours, <1.0 shorter ones).
+    pub pseudowire_slack: f64,
     /// Pathology rates.
     pub rates: PathologyRates,
 }
@@ -92,6 +99,8 @@ impl SceneConfig {
             seed,
             scale: 1.0,
             second_interface_prob: 0.12,
+            remote_share_scale: 1.0,
+            pseudowire_slack: 1.0,
             rates: PathologyRates::default(),
         }
     }
@@ -355,7 +364,8 @@ pub fn build_scene(topo: &Topology, metas: &[IxpMeta], cfg: &SceneConfig) -> Ixp
                 node.home_city != ixp_city && remote_eligible(node.kind)
             })
             .collect();
-        let remote_target = ((chosen.len() as f64) * meta.remote_share).round() as usize;
+        let effective_share = (meta.remote_share * cfg.remote_share_scale).min(0.95);
+        let remote_target = ((chosen.len() as f64) * effective_share).round() as usize;
         let mut remote: std::collections::HashSet<usize> = std::collections::HashSet::new();
         {
             // Uniform choice among the distant candidates.

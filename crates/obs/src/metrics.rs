@@ -36,6 +36,23 @@ pub const DURATION_US_BUCKETS: &[f64] = &[
     600_000_000.0,
 ];
 
+/// Histogram bounds for coarse work units in milliseconds — sweep tasks,
+/// world builds, probing campaigns. Spans hundreds of microseconds (a
+/// method-only re-analysis) up to tens of minutes (a paper-scale replicate),
+/// roughly log-spaced.
+pub const TASK_MS_BUCKETS: &[f64] = &[
+    1.0,
+    5.0,
+    20.0,
+    100.0,
+    500.0,
+    2_000.0,
+    10_000.0,
+    60_000.0,
+    300_000.0,
+    1_200_000.0,
+];
+
 /// A monotonically increasing event counter.
 #[derive(Debug)]
 pub struct Counter {

@@ -1,0 +1,153 @@
+//! End-to-end checks of the sweep engine against the per-run metrics layer
+//! it aggregates: the engine must be a faithful (and world-sharing)
+//! restatement of running [`RunMetrics::collect`] replicate by replicate.
+
+use remote_peering::campaign::Campaign;
+use remote_peering::metrics::{PreparedRun, RunMetrics};
+use remote_peering::world::{World, WorldConfig};
+use rp_scenario::{run_sweep, ScenarioSpec, SweepConfig};
+use rp_types::seed;
+use serde_json::Value;
+
+fn cell<'a>(out: &'a Value, label: &str) -> &'a Value {
+    out.get("cells")
+        .and_then(Value::as_array)
+        .expect("cells array")
+        .iter()
+        .find(|c| c.get("label").and_then(Value::as_str) == Some(label))
+        .unwrap_or_else(|| panic!("no cell labelled {label}"))
+}
+
+fn metric_mean(cell: &Value, name: &str) -> f64 {
+    cell.get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(|m| m.get("mean"))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("metric {name} missing a mean"))
+}
+
+#[test]
+fn smoke_sweep_structure_and_baseline_deltas() {
+    let spec = ScenarioSpec::preset("smoke").expect("smoke preset exists");
+    let cfg = SweepConfig {
+        replicates: 3,
+        ..SweepConfig::test_default(7)
+    };
+    let out = run_sweep(&spec, &cfg);
+
+    let cells = out.get("cells").and_then(Value::as_array).expect("cells");
+    assert_eq!(cells.len(), 4, "2x2 smoke grid");
+    let baselines: Vec<&Value> = cells
+        .iter()
+        .filter(|c| c.get("baseline") == Some(&Value::Bool(true)))
+        .collect();
+    assert_eq!(baselines.len(), 1, "exactly one baseline arm");
+    assert_eq!(
+        baselines[0].get("label").and_then(Value::as_str),
+        Some("threshold_ms=10,filter_skip=none")
+    );
+    assert!(
+        baselines[0].get("delta_vs_baseline").is_none(),
+        "the baseline arm has no delta against itself"
+    );
+    for c in cells {
+        let metrics = c.get("metrics").expect("metrics object");
+        for name in RunMetrics::NAMES {
+            let m = metrics.get(name).expect("every metric is present");
+            assert_eq!(m.get("n").and_then(Value::as_u64), Some(3));
+            let mean = m.get("mean").and_then(Value::as_f64).unwrap();
+            let t_ci = m.get("t_ci").and_then(Value::as_array).unwrap();
+            let (lo, hi) = (t_ci[0].as_f64().unwrap(), t_ci[1].as_f64().unwrap());
+            assert!(
+                lo <= mean && mean <= hi,
+                "{name}: mean {mean} outside its own CI [{lo}, {hi}]"
+            );
+        }
+        if c.get("baseline") == Some(&Value::Bool(false)) {
+            let deltas = c
+                .get("delta_vs_baseline")
+                .expect("non-baseline cells carry deltas");
+            assert!(deltas.get("remote_fraction").is_some());
+        }
+    }
+    // Echoes make the file self-describing.
+    assert_eq!(
+        out.get("spec")
+            .and_then(|s| s.get("name"))
+            .and_then(Value::as_str),
+        Some("smoke")
+    );
+    assert_eq!(
+        out.get("config")
+            .and_then(|c| c.get("replicates"))
+            .and_then(Value::as_u64),
+        Some(3)
+    );
+}
+
+#[test]
+fn engine_means_equal_direct_per_replicate_collection() {
+    // The engine's per-cell mean must be exactly the mean of running the
+    // metrics layer by hand over the same derived replicate seeds — no
+    // hidden seed drift, no extra aggregation steps.
+    let spec = ScenarioSpec::from_json(
+        r#"{"name": "pinned", "axes": [{"param": "threshold_ms", "values": [10, 20]}]}"#,
+    )
+    .unwrap();
+    let cfg = SweepConfig {
+        replicates: 2,
+        ..SweepConfig::test_default(42)
+    };
+    let out = run_sweep(&spec, &cfg);
+
+    let campaign = Campaign::default_paper();
+    for (label, threshold) in [("threshold_ms=10", 10.0), ("threshold_ms=20", 20.0)] {
+        let mut sum = 0.0;
+        for r in 0..cfg.replicates {
+            let s = seed::derive2(cfg.seed, "scenario-replicate", r, 0);
+            let run = PreparedRun::probe(World::build(&WorldConfig::test_scale(s)), &campaign);
+            let params = remote_peering::metrics::MethodParams {
+                threshold_ms: threshold,
+                ..Default::default()
+            };
+            sum += RunMetrics::collect(&run, &params).recall;
+        }
+        let by_hand = sum / cfg.replicates as f64;
+        let engine = metric_mean(cell(&out, label), "recall");
+        assert!(
+            (engine - by_hand).abs() < 1e-12,
+            "{label}: engine mean {engine} != direct mean {by_hand}"
+        );
+    }
+}
+
+#[test]
+fn threshold_preset_reproduces_the_papers_operating_point() {
+    // The baseline arm of the threshold preset (10 ms) must show the
+    // paper's central property — perfect precision with useful recall —
+    // and the grid must bracket it the way figure 2's RTT mass implies:
+    // tighter thresholds trade precision away, looser ones trade recall.
+    let spec = ScenarioSpec::preset("threshold").expect("threshold preset exists");
+    let cfg = SweepConfig {
+        replicates: 3,
+        ..SweepConfig::test_default(7)
+    };
+    let out = run_sweep(&spec, &cfg);
+
+    let base = cell(&out, "threshold_ms=10");
+    assert_eq!(base.get("baseline"), Some(&Value::Bool(true)));
+    assert_eq!(metric_mean(base, "precision"), 1.0);
+    let base_recall = metric_mean(base, "recall");
+    assert!(base_recall > 0.5 && base_recall <= 1.0);
+
+    let tight = cell(&out, "threshold_ms=2");
+    assert!(
+        metric_mean(tight, "precision") < 1.0,
+        "2 ms must catch locals"
+    );
+    assert!(metric_mean(tight, "recall") >= base_recall);
+
+    let loose = cell(&out, "threshold_ms=50");
+    assert_eq!(metric_mean(loose, "precision"), 1.0);
+    assert!(metric_mean(loose, "recall") < base_recall);
+}

@@ -15,6 +15,7 @@ pub mod dist;
 pub mod geo;
 pub mod ids;
 pub mod seed;
+pub mod stats;
 pub mod time;
 pub mod units;
 

@@ -1,0 +1,418 @@
+//! Replication statistics for Monte-Carlo sweeps.
+//!
+//! The scenario engine runs every cell of a sweep over N replicate seeds and
+//! needs summaries that are (a) bit-reproducible regardless of the order in
+//! which parallel workers deliver results, and (b) honest about uncertainty.
+//! This module provides the pieces:
+//!
+//! * [`Accumulator`] — per-cell sample store keyed by replicate index, so
+//!   merging partial accumulators is order-independent *exactly* (floating
+//!   point summation happens once, over index-sorted values).
+//! * [`t_interval`] — Student-t confidence interval for the mean.
+//! * [`bootstrap_interval`] — percentile bootstrap CI, deterministically
+//!   seeded through [`crate::seed`].
+//! * [`paired_deltas`] — per-replicate differences between two cells that
+//!   share replicate seeds (common random numbers), the low-variance way to
+//!   compare arms.
+//!
+//! Quantiles: the inverse normal CDF uses Acklam's rational approximation
+//! (relative error < 1.2e-9); Student-t quantiles are exact for 1 and 2
+//! degrees of freedom and use the Abramowitz & Stegun 26.7.5 Cornish–Fisher
+//! expansion otherwise (error < 1e-2 at df = 3, far below sampling noise at
+//! the replicate counts sweeps use).
+
+use rand::RngExt;
+
+/// Point summary of one metric over a cell's replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of recorded replicates.
+    pub n: usize,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation, n-1 denominator (0.0 when n < 2).
+    pub std_dev: f64,
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Sample store for one (cell, metric), keyed by replicate index.
+///
+/// Values are kept as `(replicate, value)` pairs and every statistic sorts
+/// by replicate index before touching the floats, so two accumulators built
+/// from the same observations in different orders — or merged from different
+/// partitions — produce bit-identical summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    values: Vec<(u64, f64)>,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `value` for replicate `replicate`.
+    pub fn record(&mut self, replicate: u64, value: f64) {
+        self.values.push((replicate, value));
+    }
+
+    /// Absorb every observation from `other`.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Values sorted by replicate index (ties broken by bit pattern, so the
+    /// order is total even for duplicate indices).
+    pub fn ordered(&self) -> Vec<f64> {
+        let mut pairs = self.values.clone();
+        pairs.sort_by_key(|(rep, v)| (*rep, v.to_bits()));
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Mean / sample standard deviation over the ordered values.
+    pub fn summary(&self) -> Summary {
+        let xs = self.ordered();
+        Summary {
+            n: xs.len(),
+            mean: mean(&xs),
+            std_dev: sample_std(&xs),
+        }
+    }
+
+    /// Student-t CI for the mean at `confidence` (e.g. 0.95).
+    pub fn t_interval(&self, confidence: f64) -> Interval {
+        t_interval(&self.ordered(), confidence)
+    }
+
+    /// Percentile bootstrap CI for the mean, seeded deterministically.
+    pub fn bootstrap_interval(&self, confidence: f64, resamples: usize, seed: u64) -> Interval {
+        bootstrap_interval(&self.ordered(), confidence, resamples, seed)
+    }
+}
+
+/// Per-replicate deltas `a - b` over the replicate indices present in both
+/// accumulators, in index order. With common random numbers this is the
+/// paired sample whose CI is much tighter than the difference of
+/// independent CIs.
+pub fn paired_deltas(a: &Accumulator, b: &Accumulator) -> Vec<f64> {
+    let mut left = a.values.clone();
+    left.sort_by_key(|(rep, v)| (*rep, v.to_bits()));
+    let mut right = b.values.clone();
+    right.sort_by_key(|(rep, v)| (*rep, v.to_bits()));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        match left[i].0.cmp(&right[j].0) {
+            core::cmp::Ordering::Less => i += 1,
+            core::cmp::Ordering::Greater => j += 1,
+            core::cmp::Ordering::Equal => {
+                out.push(left[i].1 - right[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation with n-1 denominator (0.0 when n < 2).
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Student-t confidence interval for the mean of `xs`.
+///
+/// Degenerate inputs collapse to a point interval at the mean: empty or
+/// single-observation samples have no spread estimate, so `lo == hi == mean`.
+pub fn t_interval(xs: &[f64], confidence: f64) -> Interval {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return Interval { lo: m, hi: m };
+    }
+    let df = (xs.len() - 1) as f64;
+    let p = 0.5 + confidence.clamp(0.0, 1.0 - 1e-12) / 2.0;
+    let half = t_quantile(p, df) * sample_std(xs) / (xs.len() as f64).sqrt();
+    Interval {
+        lo: m - half,
+        hi: m + half,
+    }
+}
+
+/// Percentile bootstrap CI for the mean of `xs`, resampling `resamples`
+/// times with an RNG derived from `(seed, "bootstrap")`. Deterministic for
+/// fixed inputs; degenerate inputs collapse to a point interval.
+pub fn bootstrap_interval(xs: &[f64], confidence: f64, resamples: usize, seed: u64) -> Interval {
+    let m = mean(xs);
+    if xs.len() < 2 || resamples == 0 {
+        return Interval { lo: m, hi: m };
+    }
+    let mut rng = crate::seed::rng(seed, "bootstrap", xs.len() as u64);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..xs.len() {
+            sum += xs[rng.random_range(0..xs.len())];
+        }
+        means.push(sum / xs.len() as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    let conf = confidence.clamp(0.0, 1.0);
+    let alpha = (1.0 - conf) / 2.0;
+    let pick = |p: f64| -> f64 {
+        let idx = (p * (means.len() - 1) as f64).round() as usize;
+        means[idx.min(means.len() - 1)]
+    };
+    Interval {
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+    }
+}
+
+/// Inverse standard normal CDF via Acklam's rational approximation.
+///
+/// Relative error below 1.2e-9 over (0, 1); `p` outside (0, 1) saturates to
+/// ±infinity.
+pub fn normal_quantile(p: f64) -> f64 {
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Inverse Student-t CDF for `df` degrees of freedom.
+///
+/// Exact closed forms for df = 1 (Cauchy) and df = 2; the A&S 26.7.5
+/// Cornish–Fisher expansion around the normal quantile otherwise. The
+/// expansion is strictly increasing in `p` for every df ≥ 1 (the negative
+/// contributions to its derivative are bounded by 15/(384·df³) + 945/(92160·df⁴)
+/// < 0.05), which the CI-monotonicity property test relies on.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(df >= 1.0, "t_quantile requires df >= 1 (got {df})");
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    if df < 1.5 {
+        // Cauchy: F^{-1}(p) = tan(pi * (p - 1/2)).
+        return (core::f64::consts::PI * (p - 0.5)).tan();
+    }
+    if df < 2.5 {
+        // df = 2: F(t) = 1/2 + t / (2 sqrt(2 + t^2)).
+        let a = 2.0 * p - 1.0;
+        return a * (2.0 / (1.0 - a * a)).sqrt();
+    }
+    let x = normal_quantile(p);
+    let (x2, v) = (x * x, df);
+    let g1 = x * (x2 + 1.0) / 4.0;
+    let g2 = x * ((5.0 * x2 + 16.0) * x2 + 3.0) / 96.0;
+    let g3 = x * (((3.0 * x2 + 19.0) * x2 + 17.0) * x2 - 15.0) / 384.0;
+    let g4 = x * ((((79.0 * x2 + 776.0) * x2 + 1482.0) * x2 - 1920.0) * x2 - 945.0) / 92160.0;
+    x + g1 / v + g2 / (v * v) + g3 / (v * v * v) + g4 / (v * v * v * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_reference() {
+        // Reference values from standard normal tables.
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.975, 1.959963985),
+            (0.995, 2.575829304),
+            (0.9995, 3.290526731),
+            (0.025, -1.959963985),
+        ] {
+            assert!(
+                (normal_quantile(p) - z).abs() < 1e-6,
+                "Phi^-1({p}) = {} != {z}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn t_quantile_matches_reference() {
+        // (p, df, t) triples from Student-t tables.
+        for (p, df, t, tol) in [
+            (0.975, 1.0, 12.7062, 1e-4),
+            (0.975, 2.0, 4.30265, 1e-4),
+            (0.975, 3.0, 3.18245, 2e-2),
+            (0.975, 7.0, 2.36462, 2e-3),
+            (0.975, 30.0, 2.04227, 1e-4),
+            (0.95, 7.0, 1.89458, 2e-3),
+        ] {
+            let got = t_quantile(p, df);
+            assert!(
+                (got - t).abs() < tol,
+                "t({p}, df={df}) = {got} != {t} (tol {tol})"
+            );
+        }
+        // Converges to the normal quantile for large df.
+        assert!((t_quantile(0.975, 1e6) - normal_quantile(0.975)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn summary_and_interval_basics() {
+        let mut acc = Accumulator::new();
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            acc.record(i as u64, *v);
+        }
+        let s = acc.summary();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let ci = acc.t_interval(0.95);
+        assert!(ci.lo < s.mean && s.mean < ci.hi);
+        // half = t(0.975, 7) * std / sqrt(8)
+        let expect = 2.36462 * s.std_dev / 8.0f64.sqrt();
+        assert!((ci.half_width() - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_samples_collapse_to_point_intervals() {
+        assert_eq!(t_interval(&[], 0.95), Interval { lo: 0.0, hi: 0.0 });
+        assert_eq!(t_interval(&[3.5], 0.95), Interval { lo: 3.5, hi: 3.5 });
+        assert_eq!(
+            bootstrap_interval(&[3.5], 0.95, 100, 7),
+            Interval { lo: 3.5, hi: 3.5 }
+        );
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_brackets_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let a = bootstrap_interval(&xs, 0.95, 500, 42);
+        let b = bootstrap_interval(&xs, 0.95, 500, 42);
+        assert_eq!(a, b, "same seed must reproduce the same CI");
+        let m = mean(&xs);
+        assert!(a.lo <= m && m <= a.hi);
+        let other = bootstrap_interval(&xs, 0.95, 500, 43);
+        assert!(a != other, "different seeds should move the CI");
+    }
+
+    #[test]
+    fn merge_is_exactly_order_independent() {
+        let obs = [(0u64, 0.1), (1, 0.7), (2, 0.3), (3, 1.9), (4, -2.0)];
+        let mut forward = Accumulator::new();
+        for (r, v) in obs {
+            forward.record(r, v);
+        }
+        let mut halves = (Accumulator::new(), Accumulator::new());
+        for (r, v) in obs.iter().rev() {
+            if r % 2 == 0 {
+                halves.0.record(*r, *v);
+            } else {
+                halves.1.record(*r, *v);
+            }
+        }
+        let mut merged = Accumulator::new();
+        merged.merge(&halves.1);
+        merged.merge(&halves.0);
+        assert_eq!(forward.summary(), merged.summary());
+        assert_eq!(forward.t_interval(0.95), merged.t_interval(0.95));
+        assert_eq!(
+            forward.bootstrap_interval(0.95, 200, 9),
+            merged.bootstrap_interval(0.95, 200, 9)
+        );
+    }
+
+    #[test]
+    fn paired_deltas_match_by_replicate() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        a.record(0, 1.0);
+        a.record(1, 2.0);
+        a.record(3, 4.0);
+        b.record(1, 0.5);
+        b.record(2, 9.0);
+        b.record(3, 1.0);
+        assert_eq!(paired_deltas(&a, &b), vec![1.5, 3.0]);
+    }
+}

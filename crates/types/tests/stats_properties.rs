@@ -1,0 +1,118 @@
+//! Property-based tests on the replication-statistics layer: the interval
+//! constructions must behave like confidence intervals (widen with the
+//! confidence level, bracket the sample mean) and the accumulator must be
+//! exactly order-independent, since the sweep engine feeds it from rayon
+//! workers in whatever order they finish.
+
+use proptest::prelude::*;
+use rp_types::stats::{
+    bootstrap_interval, mean, paired_deltas, t_interval, t_quantile, Accumulator,
+};
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, 2..24)
+}
+
+proptest! {
+    #[test]
+    fn t_interval_widens_monotonically_with_confidence(
+        xs in arb_sample(),
+        lo_conf in 0.5f64..0.9,
+        extra in 0.01f64..0.099,
+    ) {
+        let narrow = t_interval(&xs, lo_conf);
+        let wide = t_interval(&xs, lo_conf + extra);
+        prop_assert!(
+            wide.half_width() >= narrow.half_width() - 1e-12,
+            "CI at {:.3} is narrower than at {:.3}: {} < {}",
+            lo_conf + extra, lo_conf, wide.half_width(), narrow.half_width()
+        );
+        // Both always bracket the sample mean.
+        let m = mean(&xs);
+        prop_assert!(narrow.lo <= m + 1e-9 && m <= narrow.hi + 1e-9);
+    }
+
+    #[test]
+    fn t_quantile_is_increasing_in_p(
+        df in 1.0f64..60.0,
+        p in 0.51f64..0.99,
+        step in 0.001f64..0.009,
+    ) {
+        prop_assert!(t_quantile(p + step, df) > t_quantile(p, df));
+        // Symmetry of the t distribution.
+        prop_assert!((t_quantile(p, df) + t_quantile(1.0 - p, df)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bootstrap_interval_contains_the_sample_mean(
+        xs in arb_sample(),
+        seed in any::<u64>(),
+    ) {
+        let ci = bootstrap_interval(&xs, 0.95, 300, seed);
+        let m = mean(&xs);
+        // Resample means concentrate around the sample mean; a 95%
+        // percentile interval over 300 of them brackets it (tolerance
+        // absorbs ulp-level ties when the sample is nearly constant).
+        let tol = 1e-9 * (1.0 + m.abs());
+        prop_assert!(
+            ci.lo <= m + tol && m <= ci.hi + tol,
+            "bootstrap CI [{}, {}] misses mean {m}", ci.lo, ci.hi
+        );
+        prop_assert!(ci.lo <= ci.hi);
+    }
+
+    #[test]
+    fn accumulator_statistics_ignore_arrival_order(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..32),
+        seed in any::<u64>(),
+    ) {
+        // One worker delivering in index order vs. a shuffled partition
+        // across two merged accumulators: bit-identical statistics.
+        let mut ordered = Accumulator::new();
+        for (r, v) in values.iter().enumerate() {
+            ordered.record(r as u64, *v);
+        }
+        let mut indices: Vec<usize> = (0..values.len()).collect();
+        // Deterministic pseudo-shuffle driven by the proptest-chosen seed.
+        for i in (1..indices.len()).rev() {
+            indices.swap(i, (seed as usize).wrapping_mul(i + 1) % (i + 1));
+        }
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for (k, &i) in indices.iter().enumerate() {
+            if k % 2 == 0 {
+                a.record(i as u64, values[i]);
+            } else {
+                b.record(i as u64, values[i]);
+            }
+        }
+        let mut merged = Accumulator::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        prop_assert_eq!(ordered.summary(), merged.summary());
+        prop_assert_eq!(ordered.t_interval(0.95), merged.t_interval(0.95));
+        prop_assert_eq!(
+            ordered.bootstrap_interval(0.95, 100, 7),
+            merged.bootstrap_interval(0.95, 100, 7)
+        );
+    }
+
+    #[test]
+    fn paired_deltas_are_antisymmetric_and_self_cancelling(
+        values in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..24),
+    ) {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for (r, (x, y)) in values.iter().enumerate() {
+            a.record(r as u64, *x);
+            b.record(r as u64, *y);
+        }
+        let ab = paired_deltas(&a, &b);
+        let ba = paired_deltas(&b, &a);
+        prop_assert_eq!(ab.len(), values.len());
+        for (d, e) in ab.iter().zip(&ba) {
+            prop_assert_eq!(*d, -e);
+        }
+        prop_assert!(paired_deltas(&a, &a).iter().all(|d| *d == 0.0));
+    }
+}

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI gate for `repro sweep` output.
+
+Fails (exit 1) when the sweep JSON is missing or malformed, when the cell
+grid does not match the echoed spec, when the baseline arm is absent or
+duplicated, when any per-metric statistic is insane (mean outside its own
+CI, negative deviation, bounded metrics out of range), or when a
+non-baseline cell lacks paired deltas against the baseline. Mirrors the
+assertions of crates/scenario/tests/engine.rs so a broken sweep fails CI
+even if someone runs the sweep step without the test suite.
+"""
+
+import json
+import math
+import sys
+
+METRICS = [
+    "analyzed",
+    "remote_fraction",
+    "precision",
+    "recall",
+    "f1",
+    "accuracy",
+    "offload_top1_frac",
+    "offload_top5_frac",
+    "econ_margin",
+]
+UNIT_METRICS = {"remote_fraction", "precision", "recall", "f1", "accuracy",
+                "offload_top1_frac", "offload_top5_frac"}
+
+errors = []
+
+
+def check_interval(where, stat, mean, ci):
+    if not (isinstance(ci, list) and len(ci) == 2):
+        errors.append(f"{where}: {stat} is not a [lo, hi] pair")
+        return
+    lo, hi = ci
+    if not all(isinstance(x, (int, float)) and math.isfinite(x) for x in (lo, hi)):
+        errors.append(f"{where}: {stat} has non-finite bounds")
+        return
+    if lo > hi:
+        errors.append(f"{where}: {stat} inverted: [{lo}, {hi}]")
+    tol = 1e-9 * (1.0 + abs(mean))
+    if not (lo <= mean + tol and mean <= hi + tol):
+        errors.append(f"{where}: mean {mean} outside {stat} [{lo}, {hi}]")
+
+
+def check_cell(cell, replicates, is_baseline):
+    label = cell.get("label", "?")
+    metrics = cell.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"cell {label}: metrics section missing")
+        return
+    for name in METRICS:
+        m = metrics.get(name)
+        if not isinstance(m, dict):
+            errors.append(f"cell {label}: metric {name} missing")
+            continue
+        where = f"cell {label}, metric {name}"
+        if m.get("n") != replicates:
+            errors.append(f"{where}: n={m.get('n')} != replicates {replicates}")
+        mean, std = m.get("mean"), m.get("std")
+        if not (isinstance(mean, (int, float)) and math.isfinite(mean)):
+            errors.append(f"{where}: non-finite mean")
+            continue
+        if not (isinstance(std, (int, float)) and std >= 0.0):
+            errors.append(f"{where}: negative or missing std")
+        if name in UNIT_METRICS and not (-1e-9 <= mean <= 1.0 + 1e-9):
+            errors.append(f"{where}: mean {mean} outside [0, 1]")
+        check_interval(where, "t_ci", mean, m.get("t_ci"))
+        check_interval(where, "bootstrap_ci", mean, m.get("bootstrap_ci"))
+
+    deltas = cell.get("delta_vs_baseline")
+    if is_baseline:
+        if deltas is not None:
+            errors.append(f"cell {label}: baseline arm carries a delta against itself")
+        return
+    if not isinstance(deltas, dict):
+        errors.append(f"cell {label}: non-baseline cell lacks delta_vs_baseline")
+        return
+    for name in METRICS:
+        d = deltas.get(name)
+        if not isinstance(d, dict):
+            errors.append(f"cell {label}: delta for {name} missing")
+            continue
+        mean = d.get("mean")
+        if not (isinstance(mean, (int, float)) and math.isfinite(mean)):
+            errors.append(f"cell {label}: delta {name} has non-finite mean")
+            continue
+        check_interval(f"cell {label}, delta {name}", "t_ci", mean, d.get("t_ci"))
+
+
+def main(path):
+    try:
+        with open(path) as f:
+            sweep = json.load(f)
+    except OSError as e:
+        errors.append(f"sweep output missing: {e}")
+        return
+    except ValueError as e:
+        errors.append(f"sweep output does not parse: {e}")
+        return
+
+    spec = sweep.get("spec")
+    if not isinstance(spec, dict) or not spec.get("name") or not spec.get("axes"):
+        errors.append("spec echo missing name or axes")
+        return
+    config = sweep.get("config", {})
+    replicates = config.get("replicates")
+    if not isinstance(replicates, int) or replicates < 1:
+        errors.append(f"config.replicates invalid: {replicates!r}")
+        return
+
+    cells = sweep.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("no cells in sweep output")
+        return
+    expected = 1
+    for axis in spec["axes"]:
+        expected *= len(axis.get("values", []))
+    if len(cells) != expected:
+        errors.append(f"{len(cells)} cells but the spec's grid has {expected}")
+
+    labels = [c.get("label") for c in cells]
+    if len(set(labels)) != len(labels):
+        errors.append("duplicate cell labels")
+    baselines = [c for c in cells if c.get("baseline") is True]
+    if len(baselines) != 1:
+        errors.append(f"{len(baselines)} baseline arms (want exactly 1)")
+
+    for cell in cells:
+        check_cell(cell, replicates, cell.get("baseline") is True)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: check_sweep.py SWEEP_JSON", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
+    if errors:
+        for e in errors:
+            print(f"check_sweep: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_sweep: {sys.argv[1]} OK")

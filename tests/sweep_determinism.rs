@@ -1,0 +1,115 @@
+//! The sweep engine's two statistical contracts, enforced end to end:
+//!
+//! 1. **Schedule independence** — the emitted sweep JSON is byte-identical
+//!    at any rayon thread count (and run-to-run), because observations are
+//!    keyed by `(cell, replicate)` and statistics sort by key before
+//!    touching floats. The CI matrix additionally runs this whole file
+//!    under `RAYON_NUM_THREADS=1` and unset.
+//! 2. **Common random numbers work** — pairing arms on shared replicate
+//!    seeds yields lower delta variance than differencing independent
+//!    seeds, which is the entire reason the engine structures seeding the
+//!    way it does.
+
+use remote_peering::campaign::Campaign;
+use remote_peering::metrics::{MethodParams, PreparedRun, RunMetrics};
+use remote_peering::world::{World, WorldConfig};
+use rp_scenario::{run_sweep, ScenarioSpec, SweepConfig};
+use rp_types::seed;
+use rp_types::stats::sample_std;
+
+fn two_arm_spec() -> ScenarioSpec {
+    ScenarioSpec::from_json(
+        r#"{
+            "name": "determinism_probe",
+            "description": "two threshold arms sharing one world per replicate",
+            "axes": [{"param": "threshold_ms", "values": [10, 14]}]
+        }"#,
+    )
+    .expect("literal spec is valid")
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_thread_counts() {
+    let spec = two_arm_spec();
+    let cfg = SweepConfig {
+        replicates: 4,
+        ..SweepConfig::test_default(20140101)
+    };
+    let render =
+        || serde_json::to_string_pretty(&run_sweep(&spec, &cfg)).expect("sweep output serializes");
+
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .expect("vendored builder never fails");
+    let serial = render();
+
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global()
+        .expect("vendored builder never fails");
+    let parallel = render();
+    let parallel_again = render();
+
+    // Restore the default resolution order (env var, then parallelism).
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .expect("vendored builder never fails");
+
+    assert_eq!(
+        serial, parallel,
+        "sweep JSON diverged between 1 and 4 rayon threads"
+    );
+    assert_eq!(
+        parallel, parallel_again,
+        "sweep JSON is not run-to-run stable"
+    );
+}
+
+#[test]
+fn paired_seeds_beat_independent_seeds_on_delta_variance() {
+    const REPLICATES: u64 = 6;
+    let campaign = Campaign::default_paper();
+    let arms = [
+        MethodParams {
+            threshold_ms: 10.0,
+            ..Default::default()
+        },
+        MethodParams {
+            threshold_ms: 14.0,
+            ..Default::default()
+        },
+    ];
+    let collect = |seed_val: u64, params: &MethodParams| {
+        let run = PreparedRun::probe(World::build(&WorldConfig::test_scale(seed_val)), &campaign);
+        RunMetrics::collect(&run, params)
+    };
+
+    // Paired: both arms observe the same replicate worlds (the engine's
+    // seeding scheme), so the delta sees only the threshold effect.
+    let mut paired = Vec::new();
+    for r in 0..REPLICATES {
+        let s = seed::derive2(20140101, "scenario-replicate", r, 0);
+        let run = PreparedRun::probe(World::build(&WorldConfig::test_scale(s)), &campaign);
+        let a = RunMetrics::collect(&run, &arms[0]);
+        let b = RunMetrics::collect(&run, &arms[1]);
+        paired.push(a.remote_fraction - b.remote_fraction);
+    }
+
+    // Independent: each arm draws its own world per replicate, so the
+    // delta additionally carries world-to-world variance twice.
+    let mut independent = Vec::new();
+    for r in 0..REPLICATES {
+        let a = collect(seed::derive2(20140101, "indep-arm-a", r, 0), &arms[0]);
+        let b = collect(seed::derive2(20140101, "indep-arm-b", r, 0), &arms[1]);
+        independent.push(a.remote_fraction - b.remote_fraction);
+    }
+
+    let var_paired = sample_std(&paired).powi(2);
+    let var_independent = sample_std(&independent).powi(2);
+    assert!(
+        var_paired < var_independent,
+        "common random numbers should shrink delta variance: paired {var_paired:e} vs independent {var_independent:e}"
+    );
+}
