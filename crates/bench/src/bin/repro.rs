@@ -4,6 +4,7 @@
 //! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
 //!       [--threads N] [--report [PATH]] [--trace]
 //! repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]
+//! repro check [--faults N] [--fuzz N] [other flags]
 //! ```
 //!
 //! Run `repro --help` for the experiment list. Text goes to stdout; raw
@@ -12,6 +13,12 @@
 //! `repro sweep` runs an `rp-scenario` Monte-Carlo sensitivity sweep from a
 //! spec file or a built-in preset and writes the full per-cell statistics
 //! to `<out>/sweeps/<name>.json`.
+//!
+//! `repro check` runs the `rp-testkit` correctness harness — a clean and a
+//! fault-injected campaign, the metamorphic invariant suite over both, and
+//! the seeded parser fuzzer — and writes `<out>/check_report.json` (a pure
+//! function of the seed: bit-identical at any thread count). Exit code 1
+//! when an invariant is violated or a parser panics.
 //!
 //! `--report [PATH]` additionally records spans and metrics across the
 //! whole pipeline and writes a `run_report.json` (default
@@ -72,13 +79,18 @@ struct Args {
     sweep_spec: Option<String>,
     /// `--replicates` override for `sweep` (default: the spec's own).
     replicates: Option<u64>,
+    /// `--faults` perturbation-trial count for `check` (default 200).
+    faults: Option<u64>,
+    /// `--fuzz` iteration count for `check` (default 500).
+    fuzz: Option<u64>,
 }
 
 fn usage_text() -> String {
     let mut s = String::from(
         "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]\n\
          \x20            [--threads N] [--report [PATH]] [--trace]\n\
-         \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\nexperiments:\n",
+         \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\
+         \x20      repro check [--faults N] [--fuzz N] [other flags]\n\nexperiments:\n",
     );
     for chunk in EXPERIMENTS.chunks(8) {
         s.push_str("  ");
@@ -94,6 +106,8 @@ fn usage_text() -> String {
          \x20 --out DIR         JSON output directory (default results/)\n\
          \x20 --threads N       worker threads, 0 = automatic (default 0)\n\
          \x20 --replicates N    sweep replicate seeds per cell (default: the spec's)\n\
+         \x20 --faults N        check: perturbation trials (default 200)\n\
+         \x20 --fuzz N          check: fuzzer iterations per target (default 500)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
          \x20 --trace           print the span tree to stderr\n",
@@ -118,6 +132,8 @@ fn parse_args() -> Args {
         trace: false,
         sweep_spec: None,
         replicates: None,
+        faults: None,
+        fuzz: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -167,12 +183,27 @@ fn parse_args() -> Args {
                 }
                 args.replicates = Some(n);
             }
+            "--faults" => {
+                args.faults = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_usage("--faults requires a numeric count")),
+                )
+            }
+            "--fuzz" => {
+                args.fuzz = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_usage("--fuzz requires a numeric count")),
+                )
+            }
             "--trace" => args.trace = true,
             "--help" | "-h" => {
                 print!("{}", usage_text());
                 std::process::exit(0);
             }
             "sweep" => args.experiment = "sweep".to_string(),
+            "check" => args.experiment = "check".to_string(),
             other if !other.starts_with('-') => {
                 if args.experiment == "sweep" && args.sweep_spec.is_none() {
                     args.sweep_spec = Some(other.to_string());
@@ -537,6 +568,103 @@ fn run_sweep_command(args: &Args, spec_arg: &str) {
     eprintln!("sweep results: {}", path.display());
 }
 
+/// The `check` subcommand: run the `rp-testkit` correctness harness and
+/// write its deterministic report. Exits 1 on any invariant violation or
+/// caught parser panic.
+fn run_check_command(args: &Args, report_path: Option<&Path>) {
+    let cfg = rp_testkit::CheckConfig {
+        seed: args.seed,
+        fault_trials: args.faults.unwrap_or(200),
+        fuzz_iters: args.fuzz.unwrap_or(500),
+        paper_scale: match args.scale.as_str() {
+            "paper" => true,
+            "test" => false,
+            other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
+        },
+    };
+    let t0 = Instant::now();
+    eprintln!(
+        "check: {} fault trials, {} fuzz iterations (scale={}, seed={})...",
+        cfg.fault_trials, cfg.fuzz_iters, args.scale, args.seed
+    );
+    let outcome = {
+        // Scoped so the `repro.run` span flushes before the run report
+        // snapshots the span tree below.
+        let _run = rp_obs::span("repro.run");
+        rp_testkit::run_check(&cfg)
+    };
+    eprintln!("  done [{:.1?}]", t0.elapsed());
+
+    println!("==== check {}", "=".repeat(55));
+    println!(
+        "injected link faults: {} across {} transmit decisions",
+        outcome.injected.total(),
+        outcome.injected.decisions
+    );
+    for (kind, n) in outcome.injected.by_kind() {
+        println!("  {:>18}  {n}", kind.key());
+    }
+    println!(
+        "scene faults: {} stale registry rows, {} dropped LG vantages",
+        outcome.scene.stale_rows, outcome.scene.dropped_lgs
+    );
+    println!(
+        "analyzed interfaces: {} clean, {} faulted",
+        outcome.clean_analyzed, outcome.faulted_analyzed
+    );
+    println!(
+        "invariants: {} checks, {} violations",
+        outcome.harness.checks,
+        outcome.harness.violations.len()
+    );
+    for v in &outcome.harness.violations {
+        println!("  VIOLATION {}: {}", v.invariant, v.detail);
+    }
+    println!(
+        "fuzz: {} iterations per target, {} panics",
+        outcome.fuzz.iterations,
+        outcome.fuzz.panics.len()
+    );
+    for p in &outcome.fuzz.panics {
+        println!("  PANIC {p}");
+    }
+    let verdict = if outcome.passed() { "PASS" } else { "FAIL" };
+    println!("check: {verdict}");
+
+    let doc = outcome.to_json();
+    let path = args.out.join("check_report.json");
+    let mut text = serde_json::to_string_pretty(&doc).expect("serialize check report");
+    text.push('\n');
+    write_output(&path, &text);
+    eprintln!("check report: {}", path.display());
+
+    // `--report` additionally wraps the outcome in an rp-obs run report
+    // with the span tree and metrics (wall-clock content, so it lives in
+    // its own file; `check_report.json` stays bit-reproducible).
+    if let Some(rp) = report_path {
+        let mut report = rp_obs::report::RunReport::new();
+        report.section(
+            "meta",
+            serde_json::json!({
+                "experiment": "check",
+                "seed": args.seed,
+                "scale": args.scale,
+                "threads": rayon::current_num_threads(),
+                "out_dir": args.out.display().to_string(),
+            }),
+        );
+        report.section("check", doc);
+        if let Err(e) = report.write(rp) {
+            fail_write(rp, &e);
+        }
+        eprintln!("run report: {}", rp.display());
+    }
+
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
+}
+
 fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
     let world = &artifacts.world;
     let mut report = rp_obs::report::RunReport::new();
@@ -591,6 +719,14 @@ fn main() {
         .build_global()
         .expect("install global thread pool");
     eprintln!("worker threads: {}", rayon::current_num_threads());
+
+    if args.experiment == "check" {
+        run_check_command(&args, report_path.as_deref());
+        if args.trace {
+            eprint!("{}", rp_obs::report::render_trace());
+        }
+        return;
+    }
 
     if args.experiment == "sweep" {
         let spec_arg = args

@@ -77,6 +77,12 @@ pub struct Campaign {
     /// Extra pings per interface from the route server during validation
     /// runs (the TorIX cross-check of section 3.3).
     pub route_server_pings: u32,
+    /// Optional deterministic fault injection (rp-testkit's harness):
+    /// every per-IXP network gets an injector whose stream derives from
+    /// this template via `derived("campaign-fault", ixp, 0)`, so the fault
+    /// sequence is replayable and independent per IXP. `None` = the clean
+    /// campaign.
+    pub faults: Option<rp_netsim::FaultConfig>,
 }
 
 impl Campaign {
@@ -90,6 +96,7 @@ impl Campaign {
             min_query_interval: SimDuration::from_mins(1),
             ping_spacing: SimDuration::from_secs(1),
             route_server_pings: 8,
+            faults: None,
         }
     }
 
@@ -190,6 +197,23 @@ impl Campaign {
         ixp: IxpId,
         with_route_server: bool,
     ) -> (Vec<InterfaceSamples>, Option<RouteServerMins>) {
+        let (samples, rs_mins, _) = self.probe_ixp_full(world, ixp, with_route_server);
+        (samples, rs_mins)
+    }
+
+    /// [`Campaign::probe_ixp_ext`] plus the exact tallies of faults the
+    /// configured injector fired during this IXP's run (all zero when
+    /// [`Campaign::faults`] is `None`).
+    pub fn probe_ixp_full(
+        &self,
+        world: &World,
+        ixp: IxpId,
+        with_route_server: bool,
+    ) -> (
+        Vec<InterfaceSamples>,
+        Option<RouteServerMins>,
+        rp_netsim::FaultCounts,
+    ) {
         let inst = world.scene.ixp(ixp);
         let duration = world.campaign_duration();
         let BuiltIxp {
@@ -198,6 +222,13 @@ impl Campaign {
             lgs,
             listed,
         } = self.build_ixp_network(world, ixp, "campaign", false);
+        if let Some(template) = &self.faults {
+            net.install_faults(rp_netsim::FaultInjector::new(template.derived(
+                "campaign-fault",
+                ixp.0 as u64,
+                0,
+            )));
+        }
         let mut rng = seed::rng(world.config.seed, "campaign-schedule", ixp.0 as u64);
 
         // --- Optional route server (validation).
@@ -310,7 +341,7 @@ impl Campaign {
                 .collect()
         });
 
-        (per_iface, rs_mins)
+        (per_iface, rs_mins, net.fault_counts())
     }
 
     /// Traceroute survey: run layer-3 path discovery from the first LG

@@ -443,6 +443,178 @@ mod tests {
         assert_eq!(a.asn, None);
     }
 
+    // ------------------------------------------------------------------
+    // Exact-boundary cases, one positive and one negative per filter. The
+    // paper's thresholds are all closed on the keep side: exactly 8
+    // replies, exactly the tolerance bound, exactly an accepted TTL all
+    // pass; one step past each discards.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sample_size_boundary_exactly_eight_passes_seven_fails() {
+        let s = samples(vec![
+            (LgOperator::Pch, healthy(8, 1.0, 255)),
+            (LgOperator::RipeNcc, healthy(8, 1.0, 255)),
+        ]);
+        assert!(apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).is_ok());
+
+        let s = samples(vec![
+            (LgOperator::Pch, healthy(8, 1.0, 255)),
+            (LgOperator::RipeNcc, healthy(7, 1.0, 255)),
+        ]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::SampleSize)
+        );
+    }
+
+    #[test]
+    fn ttl_switch_boundary_one_deviant_reply_is_enough() {
+        // All 16 replies at one TTL: keep.
+        let s = samples(vec![(LgOperator::Pch, healthy(16, 1.0, 64))]);
+        assert!(apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).is_ok());
+
+        // A single reply at another (still accepted) TTL: discard.
+        let mut replies = healthy(15, 1.0, 64);
+        replies.push((1.3, 255));
+        let s = samples(vec![(LgOperator::Pch, replies)]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::TtlSwitch)
+        );
+    }
+
+    #[test]
+    fn ttl_match_boundary_accepts_exactly_64_and_255() {
+        for ttl in [64u8, 255] {
+            let s = samples(vec![(LgOperator::Pch, healthy(10, 1.0, ttl))]);
+            assert!(
+                apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).is_ok(),
+                "ttl {ttl}"
+            );
+        }
+        for ttl in [63u8, 65, 254] {
+            let s = samples(vec![(LgOperator::Pch, healthy(10, 1.0, ttl))]);
+            assert_eq!(
+                apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+                Err(Discard::TtlMatch),
+                "ttl {ttl}"
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_consistent_boundary_is_closed_at_the_bound() {
+        // min = 1 ms, bound = 1 + max(5, 0.1) = 6 ms. Three corroborating
+        // replies at *exactly* 6 ms make four near replies: keep.
+        let near = |at: f64| -> Vec<(f64, u8)> {
+            let mut v = vec![(1.0, 255), (at, 255), (at, 255), (at, 255)];
+            v.extend((0..4).map(|k| (40.0 + k as f64, 255)));
+            v
+        };
+        let s = samples(vec![(LgOperator::Pch, near(6.0))]);
+        let a = apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).unwrap();
+        assert_eq!(a.min_rtt_ms, 1.0);
+
+        // A hair past the bound leaves the minimum uncorroborated.
+        let s = samples(vec![(LgOperator::Pch, near(6.01))]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::RttConsistent)
+        );
+    }
+
+    #[test]
+    fn rtt_consistent_relative_bound_is_closed_too() {
+        // min = 100 ms: the 10% relative term dominates, bound = 110 ms.
+        let near = |at: f64| -> Vec<(f64, u8)> {
+            let mut v = vec![(100.0, 255), (at, 255), (at, 255), (at, 255)];
+            v.extend((0..4).map(|k| (200.0 + k as f64, 255)));
+            v
+        };
+        let s = samples(vec![(LgOperator::Pch, near(110.0))]);
+        assert!(apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()).is_ok());
+        let s = samples(vec![(LgOperator::Pch, near(110.1))]);
+        assert_eq!(
+            apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default()),
+            Err(Discard::RttConsistent)
+        );
+    }
+
+    #[test]
+    fn lg_consistent_boundary_exact_five_ms_gap_passes() {
+        // Small minimum 1 ms → tolerance bound 6 ms; the other server's
+        // floor at exactly 6 ms (a 5 ms gap) is still consistent.
+        let two = |large_min: f64| {
+            samples(vec![
+                (LgOperator::Pch, healthy(8, 1.0, 255)),
+                (
+                    LgOperator::RipeNcc,
+                    (0..8).map(|_| (large_min, 255)).collect(),
+                ),
+            ])
+        };
+        assert!(apply(
+            &two(6.0),
+            &entry("10.0.2.2", vec![1]),
+            &FilterConfig::default()
+        )
+        .is_ok());
+        assert_eq!(
+            apply(
+                &two(6.01),
+                &entry("10.0.2.2", vec![1]),
+                &FilterConfig::default()
+            ),
+            Err(Discard::LgConsistent)
+        );
+    }
+
+    #[test]
+    fn asn_change_boundary_repeated_same_asn_is_stable() {
+        let s = samples(vec![(LgOperator::Pch, healthy(12, 1.0, 255))]);
+        // Two sources agreeing on one ASN is not a change...
+        let a = apply(
+            &s,
+            &entry("10.0.2.2", vec![64500, 64500]),
+            &FilterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.asn, Some(Asn(64500)));
+        // ...two distinct mappings is.
+        assert_eq!(
+            apply(
+                &s,
+                &entry("10.0.2.2", vec![64500, 64501]),
+                &FilterConfig::default()
+            ),
+            Err(Discard::AsnChange)
+        );
+    }
+
+    #[test]
+    fn kept_minima_classify_across_the_10_20_50_ms_boundaries() {
+        use crate::classify::RttRange;
+        // Interfaces straddling each classification edge must all be kept
+        // by the filters (the edges are classification business, not
+        // filtering business), and must land in the paper's ranges.
+        let cases = [
+            (9.99, RttRange::Local),
+            (10.0, RttRange::Intercity),
+            (19.99, RttRange::Intercity),
+            (20.0, RttRange::Intercountry),
+            (49.99, RttRange::Intercountry),
+            (50.0, RttRange::Intercontinental),
+        ];
+        for (rtt, want) in cases {
+            let s = samples(vec![(LgOperator::Pch, healthy(12, rtt, 255))]);
+            let a = apply(&s, &entry("10.0.2.2", vec![1]), &FilterConfig::default())
+                .unwrap_or_else(|d| panic!("{rtt} ms interface discarded: {d:?}"));
+            assert_eq!(a.min_rtt_ms, rtt);
+            assert_eq!(RttRange::of(a.min_rtt_ms), want, "at {rtt} ms");
+        }
+    }
+
     fn stats_from(outcomes: &[Result<AnalyzedInterface, Discard>]) -> FilterStats {
         let mut s = FilterStats::default();
         for o in outcomes {

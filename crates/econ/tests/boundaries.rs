@@ -1,0 +1,158 @@
+//! Exact-boundary tests for the section 5 model (eqs. 1–14): the
+//! viability condition at exact equality, and the degenerate optima where
+//! peering stops paying for itself (zero IXPs) or pays for exactly one.
+
+use rp_econ::{
+    optimal_direct, optimal_joint, optimal_remote, viability_margin, viable, CostParams,
+};
+
+/// Parameters whose viability ratio `g(p−v)/(h(p−u))` is exactly `E`, so
+/// `b = 1` sits precisely on the eq. 14 equality.
+fn knife_edge() -> CostParams {
+    let p = CostParams {
+        p: 2.0,
+        u: 0.0,
+        v: 1.0,
+        g: 0.2 * std::f64::consts::E,
+        h: 0.1,
+        b: 1.0,
+    };
+    p.validate()
+        .expect("knife-edge parameters are structurally valid");
+    p
+}
+
+#[test]
+fn viability_at_exact_equality() {
+    let p = knife_edge();
+    // g(p−v)/(h(p−u)) = 0.2E/0.2 = E and e^b = e^1: the margin is 1 up to
+    // one ulp of exp(). Equality counts as viable (eq. 14 is ≥).
+    let m = viability_margin(&p);
+    assert!((m - 1.0).abs() < 1e-12, "margin at equality was {m}");
+    assert!(viable(&p));
+
+    // The verdict must flip across the edge in the right direction.
+    let mut cheaper = p;
+    cheaper.b = 1.0 - 1e-6;
+    assert!(viability_margin(&cheaper) > 1.0);
+    assert!(viable(&cheaper));
+
+    let mut dearer = p;
+    dearer.b = 1.0 + 1e-6;
+    assert!(viability_margin(&dearer) < 1.0);
+    assert!(!viable(&dearer));
+}
+
+/// Parameters sitting exactly on eq. 11's participation boundary
+/// `b·(p−u) = g`: the marginal first IXP saves exactly what it costs.
+fn direct_boundary() -> CostParams {
+    let p = CostParams {
+        p: 1.2,
+        u: 0.2,
+        v: 0.5,
+        g: 0.5, // b·(p−u) = 0.5·1.0 = 0.5 = g
+        h: 0.1,
+        b: 0.5,
+    };
+    p.validate()
+        .expect("boundary parameters are structurally valid");
+    assert_eq!(p.b * (p.p - p.u), p.g);
+    p
+}
+
+#[test]
+fn zero_ixp_optimum_at_the_participation_boundary() {
+    let p = direct_boundary();
+    let d = optimal_direct(&p);
+    // At exact equality the optimum clamps to all-transit: n = 0, no
+    // traffic offloaded, total cost = the transit bill p·1.
+    assert_eq!(d.n, 0.0);
+    assert_eq!(d.d, 0.0);
+    assert!(
+        (d.cost - p.p).abs() < 1e-12,
+        "all-transit cost was {}",
+        d.cost
+    );
+
+    // Zero traffic offloaded must also be what any n > 0 loses money on:
+    // the clamped optimum is a real minimum, not a truncation artifact.
+    for n in [0.25, 0.5, 1.0, 2.0] {
+        assert!(
+            p.cost_direct_only(n) >= d.cost - 1e-12,
+            "n = {n} beat the clamped optimum"
+        );
+    }
+
+    // Just past the boundary the interior formula takes over continuously.
+    let mut inside = p;
+    inside.g = 0.5 - 1e-9;
+    let di = optimal_direct(&inside);
+    assert!(
+        di.n > 0.0 && di.n < 1e-6,
+        "n jumped discontinuously: {}",
+        di.n
+    );
+}
+
+#[test]
+fn remote_extension_clamps_to_zero_when_it_never_pays() {
+    // b·(p−v) = h exactly: the first remote IXP saves exactly its fee,
+    // while direct peering stays interior (b·(p−u) = 0.375 > g).
+    let p = CostParams {
+        p: 2.0,
+        u: 0.5,
+        v: 1.0,
+        g: 0.3,
+        h: 0.25, // b·(p−v) = 0.25·1.0 = 0.25 = h
+        b: 0.25,
+    };
+    p.validate().unwrap();
+    let r = optimal_remote(&p);
+    assert_eq!(r.m, 0.0, "remote peering at the boundary must clamp to 0");
+    // With m = 0, eq. 12 must degrade exactly to eq. 10 at ñ.
+    let d = optimal_direct(&p);
+    assert!((r.cost - d.cost).abs() < 1e-12);
+}
+
+#[test]
+fn single_ixp_optimum_lands_exactly_on_one() {
+    // b = 1 and (p−u)/g = e give ñ = ln(e)/1 = 1: the model's cleanest
+    // non-degenerate point — direct peering at exactly one IXP.
+    let p = CostParams {
+        p: 1.2,
+        u: 0.2,
+        v: 0.5,
+        g: 1.0 / std::f64::consts::E,
+        h: 0.05,
+        b: 1.0,
+    };
+    p.validate().unwrap();
+    let d = optimal_direct(&p);
+    assert!((d.n - 1.0).abs() < 1e-12, "expected ñ = 1, got {}", d.n);
+    // d̃ = 1 − e^(−b·ñ) = 1 − 1/e.
+    assert!((d.d - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    // It really is the minimum of eq. 10.
+    for n in [0.0, 0.5, 0.9, 1.1, 2.0] {
+        assert!(
+            p.cost_direct_only(n) >= d.cost - 1e-12,
+            "n = {n} beat ñ = 1"
+        );
+    }
+}
+
+#[test]
+fn joint_optimum_never_loses_to_the_staged_one() {
+    // At every boundary case above, the joint optimum must cost at most
+    // the staged (eq. 11 then eq. 13) solution — including the degenerate
+    // corners where both clamp.
+    for p in [knife_edge(), direct_boundary(), CostParams::example()] {
+        let staged = optimal_remote(&p);
+        let joint = optimal_joint(&p);
+        assert!(
+            joint.cost <= staged.cost + 1e-12,
+            "joint {} vs staged {}",
+            joint.cost,
+            staged.cost
+        );
+    }
+}

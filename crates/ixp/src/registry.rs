@@ -41,9 +41,11 @@ impl ListingEntry {
         }
     }
 
-    /// True when the ASN mapping is unstable over the campaign.
+    /// True when the ASN mapping is unstable over the campaign. Multiple
+    /// sources repeating the *same* mapping is agreement, not a change —
+    /// only distinct consecutive mappings count.
     pub fn asn_changed(&self) -> bool {
-        self.asns.len() > 1
+        self.asns.windows(2).any(|w| w[0] != w[1])
     }
 }
 

@@ -31,6 +31,7 @@
 //! strictly deterministic event order (time, then insertion sequence).
 
 pub mod event;
+pub mod fault;
 pub mod frame;
 pub mod host;
 pub mod link;
@@ -38,6 +39,7 @@ pub mod router;
 pub mod sim;
 pub mod switch;
 
+pub use fault::{FaultConfig, FaultCounts, FaultEvent, FaultInjector, FaultKind};
 pub use frame::{ArpOp, ArpPacket, Frame, IcmpMessage, Ipv4Packet, MacAddr, Payload};
 pub use host::{Host, PingOutcome, PingReply};
 pub use link::{CongestionEpisode, DelayModel};
@@ -64,4 +66,6 @@ const _: () = {
     assert_send::<Host>();
     assert_send::<Router>();
     assert_send::<Switch>();
+    assert_send::<FaultInjector>();
+    assert_sync::<FaultConfig>();
 };

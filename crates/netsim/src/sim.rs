@@ -6,6 +6,7 @@
 //! for frame.
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultCounts, FaultEvent, FaultInjector, TxFaults, DUPLICATE_GAP};
 use crate::frame::{Frame, MacAddr};
 use crate::host::Host;
 use crate::link::DelayModel;
@@ -136,6 +137,8 @@ pub struct Network {
     obs_active: bool,
     obs_flushed_events: u64,
     obs_flushed_drops: u64,
+    /// Optional fault injection consulted on every frame transmission.
+    faults: Option<FaultInjector>,
 }
 
 impl Network {
@@ -155,7 +158,27 @@ impl Network {
             obs_active: false,
             obs_flushed_events: 0,
             obs_flushed_drops: 0,
+            faults: None,
         }
+    }
+
+    /// Install a fault injector; every subsequent frame transmission
+    /// consults it. Replaces any previously installed injector.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Exact tallies of injected faults (all zero without an injector).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::counts)
+            .unwrap_or_default()
+    }
+
+    /// The injector's replay log (empty without an injector).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map(FaultInjector::log).unwrap_or(&[])
     }
 
     fn add_node(&mut self, device: Device) -> NodeId {
@@ -368,12 +391,23 @@ impl Network {
         };
         for action in actions {
             match action {
-                Action::Send { port, frame, after } => {
+                Action::Send {
+                    port,
+                    mut frame,
+                    after,
+                } => {
                     let Some(att) = self.nodes[node_id.index()].ports.get(port.index()).copied()
                     else {
                         self.dropped_unconnected += 1;
                         continue; // unconnected port: drop
                     };
+                    let fx = match self.faults.as_mut() {
+                        Some(inj) => inj.on_transmit(self.now, att.link, &mut frame),
+                        None => TxFaults::default(),
+                    };
+                    if fx.drop {
+                        continue; // injected loss: the frame never transmits
+                    }
                     let ready = self.now + after;
                     let link = &mut self.links[att.link as usize];
                     // Finite-bandwidth links serialize frames through a
@@ -396,8 +430,19 @@ impl Network {
                     let tx_done = start + tx_time;
                     link.busy_until[dir] = tx_done;
                     let delay = link.delay.sample(start, &mut link.rng);
+                    let arrival = tx_done + delay + fx.extra_delay;
+                    if fx.duplicate {
+                        self.queue.push(
+                            arrival + DUPLICATE_GAP,
+                            Event::FrameArrival {
+                                node: att.far_node,
+                                port: att.far_port,
+                                frame,
+                            },
+                        );
+                    }
                     self.queue.push(
-                        tx_done + delay,
+                        arrival,
                         Event::FrameArrival {
                             node: att.far_node,
                             port: att.far_port,
@@ -748,6 +793,99 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn fault_injection_replays_exactly_and_degrades_the_run() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let run = |fault_seed: u64| {
+            let mut f = figure1(21);
+            f.net.install_faults(FaultInjector::new(FaultConfig {
+                probe_loss: 0.3,
+                reply_duplication: 0.2,
+                jitter_spike: 0.2,
+                jitter_spike_ms: 30.0,
+                ttl_rewrite: 0.1,
+                ttl_rewrite_to: 7,
+                ..FaultConfig::quiet(fault_seed)
+            }));
+            ping_n(&mut f.net, f.lg, f.direct_ip, 30);
+            f.net.run_to_completion();
+            let outcomes = f.net.host(f.lg).outcomes().to_vec();
+            (outcomes, f.net.fault_counts(), f.net.fault_log().to_vec())
+        };
+        let (a_out, a_counts, a_log) = run(7);
+        let (b_out, b_counts, b_log) = run(7);
+        assert_eq!(a_out, b_out, "same fault seed must replay bit for bit");
+        assert_eq!(a_counts, b_counts);
+        assert_eq!(a_log, b_log);
+        assert!(a_counts.total() > 0, "faults must actually fire");
+        assert!(a_counts.probe_drops > 0, "{a_counts:?}");
+        let lost = a_out.iter().filter(|o| o.reply.is_none()).count();
+        assert!(lost > 0, "probe loss must cost replies");
+
+        let (c_out, c_counts, _) = run(8);
+        assert!(
+            a_out != c_out || a_counts != c_counts,
+            "different fault seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn quiet_faults_change_nothing() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let run = |faulted: bool| {
+            let mut f = figure1(22);
+            if faulted {
+                f.net
+                    .install_faults(FaultInjector::new(FaultConfig::quiet(99)));
+            }
+            ping_n(&mut f.net, f.lg, f.remote_ip, 10);
+            f.net.run_to_completion();
+            f.net.host(f.lg).outcomes().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn ttl_rewrite_shows_up_in_replies() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut f = figure1(23);
+        f.net.install_faults(FaultInjector::new(FaultConfig {
+            ttl_rewrite: 1.0,
+            ttl_rewrite_to: 9,
+            ..FaultConfig::quiet(5)
+        }));
+        ping_n(&mut f.net, f.lg, f.direct_ip, 5);
+        f.net.run_to_completion();
+        for o in f.net.host(f.lg).outcomes() {
+            if let Some(r) = o.reply {
+                assert_eq!(r.ttl, 9, "every reply TTL is rewritten in flight");
+            }
+        }
+    }
+
+    #[test]
+    fn flap_window_silences_flapping_links() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut f = figure1(24);
+        let window = (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1_000));
+        f.net.install_faults(FaultInjector::new(FaultConfig {
+            link_flap: 1.0, // every link flaps...
+            flap_window: Some(window),
+            ..FaultConfig::quiet(6)
+        }));
+        ping_n(&mut f.net, f.lg, f.direct_ip, 5);
+        f.net.run_to_completion();
+        let answered = f
+            .net
+            .host(f.lg)
+            .outcomes()
+            .iter()
+            .filter(|o| o.reply.is_some())
+            .count();
+        assert_eq!(answered, 0, "nothing crosses a flapping link");
+        assert!(f.net.fault_counts().flap_drops > 0);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! The `repro check` orchestrator: one clean run, one faulted run, the
+//! invariant suite over both, and the parser fuzzer — producing a single
+//! deterministic report of *injected faults vs. caught violations*.
+//!
+//! Everything is a pure function of [`CheckConfig`]: the probing fans out
+//! over IXPs with rayon but collects keyed results in IXP order, the
+//! perturbation trials run serially from per-trial seeds, and the fuzzer
+//! is serial by construction — so the report JSON is bit-identical across
+//! thread counts and replays exactly under the same seed.
+
+use crate::faults::{FaultPlan, SceneFaults};
+use crate::fuzz::{self, FuzzReport};
+use crate::invariants::{self, Harness};
+use rand::RngExt;
+use rayon::prelude::*;
+use remote_peering::campaign::Campaign;
+use remote_peering::classify::RttRange;
+use remote_peering::filters::{self, AnalyzedInterface, Discard, FilterConfig};
+use remote_peering::offload::{OffloadStudy, PeerGroup};
+use remote_peering::probe::InterfaceSamples;
+use remote_peering::world::{World, WorldConfig};
+use rp_econ::{viability_margin, CostParams};
+use rp_ixp::model::ListingInfo;
+use rp_ixp::{IxpInstance, ListingEntry, MemberInterface, ResponderProfile};
+use rp_netsim::FaultCounts;
+use rp_topology::PeeringPolicy;
+use rp_types::stats::{paired_deltas, Accumulator};
+use rp_types::{seed, Asn, IxpId};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What to run and how hard.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Master seed; every stream below derives from it.
+    pub seed: u64,
+    /// Perturbation trials for the sample-level invariants.
+    pub fault_trials: u64,
+    /// Fuzzer iterations against each parser target.
+    pub fuzz_iters: u64,
+    /// Build the full paper-scale world instead of the test-scale one.
+    pub paper_scale: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            seed: 42,
+            fault_trials: 200,
+            fuzz_iters: 500,
+            paper_scale: false,
+        }
+    }
+}
+
+/// Everything one check run produced.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The configuration that produced this outcome.
+    pub config: CheckConfig,
+    /// Link-level faults injected across the faulted campaign.
+    pub injected: FaultCounts,
+    /// Scene-level faults applied before the faulted campaign.
+    pub scene: SceneFaults,
+    /// Interfaces surviving all six filters in the clean run.
+    pub clean_analyzed: usize,
+    /// Interfaces surviving all six filters in the faulted run.
+    pub faulted_analyzed: usize,
+    /// The invariant suite's tally.
+    pub harness: Harness,
+    /// The fuzzer's tally.
+    pub fuzz: FuzzReport,
+}
+
+impl CheckOutcome {
+    /// True when no invariant was violated and no parser panicked.
+    pub fn passed(&self) -> bool {
+        self.harness.ok() && self.fuzz.panics.is_empty()
+    }
+
+    /// The check report document (deterministic: no wall-clock content).
+    pub fn to_json(&self) -> Value {
+        let by_kind = Value::Object(
+            self.injected
+                .by_kind()
+                .iter()
+                .map(|(k, n)| (k.key().to_string(), json!(n)))
+                .collect(),
+        );
+        json!({
+            "config": {
+                "seed": self.config.seed,
+                "fault_trials": self.config.fault_trials,
+                "fuzz_iters": self.config.fuzz_iters,
+                "scale": if self.config.paper_scale { "paper" } else { "test" },
+            },
+            "faults": {
+                "link": by_kind,
+                "link_total": self.injected.total(),
+                "decisions": self.injected.decisions,
+                "stale_rows": self.scene.stale_rows,
+                "dropped_lgs": self.scene.dropped_lgs,
+            },
+            "pipeline": {
+                "clean_analyzed": self.clean_analyzed,
+                "faulted_analyzed": self.faulted_analyzed,
+            },
+            "invariants": self.harness.to_json(),
+            "fuzz": self.fuzz.to_json(),
+            "passed": self.passed(),
+        })
+    }
+}
+
+/// One probed world's per-interface material, with registry entries
+/// attached (the ASN-change filter needs them).
+struct ProbedRun {
+    /// `(ixp, samples, entry)` for every listed interface, in IXP order.
+    interfaces: Vec<(IxpId, InterfaceSamples, ListingEntry)>,
+    /// Analyzed (all-filters-passed) count per IXP, in IXP order.
+    analyzed_per_ixp: Vec<(IxpId, usize)>,
+}
+
+impl ProbedRun {
+    fn analyzed(&self) -> usize {
+        self.analyzed_per_ixp.iter().map(|(_, n)| n).sum()
+    }
+}
+
+fn attach_entries(
+    world: &World,
+    probed: Vec<(IxpId, Vec<InterfaceSamples>)>,
+    fcfg: &FilterConfig,
+) -> ProbedRun {
+    let mut interfaces = Vec::new();
+    let mut analyzed_per_ixp = Vec::new();
+    for (ixp, samples) in probed {
+        let by_ip: HashMap<Ipv4Addr, &ListingEntry> = world
+            .registry
+            .entries(ixp)
+            .iter()
+            .map(|e| (e.ip, e))
+            .collect();
+        let mut analyzed = 0usize;
+        for s in samples {
+            let entry = by_ip
+                .get(&s.ip)
+                .map(|e| (*e).clone())
+                .unwrap_or(ListingEntry {
+                    ip: s.ip,
+                    asns: vec![Asn(64500)],
+                });
+            if filters::apply(&s, &entry, fcfg).is_ok() {
+                analyzed += 1;
+            }
+            interfaces.push((ixp, s, entry));
+        }
+        analyzed_per_ixp.push((ixp, analyzed));
+    }
+    ProbedRun {
+        interfaces,
+        analyzed_per_ixp,
+    }
+}
+
+/// The position of an RTT's class in [`RttRange::ALL`] (0 = most local).
+fn class_index(rtt: f64) -> usize {
+    RttRange::ALL
+        .iter()
+        .position(|r| *r == RttRange::of(rtt))
+        .expect("RttRange::of returns a member of ALL")
+}
+
+/// Offload monotonicity under member addition, on the real world: add an
+/// open-policy non-member to a non-home studied IXP, compare per-group
+/// potentials, then undo the addition. Group 2 (open + top-10 selective)
+/// is excluded on purpose: its membership is itself data-dependent, so
+/// monotonicity is not a theorem there.
+fn offload_invariant(h: &mut Harness, world: &mut World) {
+    let home = world.home_ixps.clone();
+    let Some(target) = world.studied_ixps().into_iter().find(|i| !home.contains(i)) else {
+        return;
+    };
+    let members: std::collections::HashSet<_> = world
+        .scene
+        .ixp(target)
+        .members
+        .iter()
+        .map(|m| m.network)
+        .collect();
+    let Some(net) = world
+        .topology
+        .ases
+        .iter()
+        .find(|a| a.policy == PeeringPolicy::Open && !members.contains(&a.id))
+        .map(|a| a.id)
+    else {
+        return;
+    };
+    const GROUPS: [(&str, PeerGroup); 3] = [
+        ("open", PeerGroup::Open),
+        ("open+selective", PeerGroup::OpenSelective),
+        ("all", PeerGroup::All),
+    ];
+    let potentials = |world: &World| -> Vec<(f64, f64)> {
+        let study = OffloadStudy::new(world);
+        GROUPS
+            .iter()
+            .map(|&(_, g)| {
+                let (inbound, outbound) = study.potential(&[target], g);
+                (inbound.0, outbound.0)
+            })
+            .collect()
+    };
+    let before = potentials(world);
+    let idx = target.index();
+    let slot = world.scene.ixps[idx].members.len() as u32;
+    world.scene.ixps[idx].members.push(MemberInterface {
+        network: net,
+        ip: IxpInstance::ip_for_slot(target, slot),
+        access: rp_ixp::Access::Direct {
+            colo_delay_ms: 0.3,
+            site: 0,
+        },
+        profile: ResponderProfile::default(),
+        listing: ListingInfo {
+            listed: false,
+            identifiable: false,
+            asn_change: false,
+        },
+    });
+    let after = potentials(world);
+    world.scene.ixps[idx].members.pop();
+
+    let mut pairs: Vec<(&'static str, f64, f64)> = Vec::new();
+    for (i, &(label, _)) in GROUPS.iter().enumerate() {
+        pairs.push((label, before[i].0, after[i].0));
+        pairs.push((label, before[i].1, after[i].1));
+    }
+    invariants::cone_monotone(h, &pairs);
+}
+
+/// Run the whole correctness harness. See the module docs for the shape.
+pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
+    let _sp = rp_obs::span("testkit.check");
+    let world_cfg = if cfg.paper_scale {
+        WorldConfig::paper_scale(cfg.seed)
+    } else {
+        WorldConfig::test_scale(cfg.seed)
+    };
+    let fcfg = FilterConfig::default();
+
+    // Clean arm.
+    let clean_world = {
+        let _sp = rp_obs::span("testkit.check.clean");
+        World::build(&world_cfg)
+    };
+    let clean = attach_entries(
+        &clean_world,
+        Campaign::default_paper().probe_all(&clean_world),
+        &fcfg,
+    );
+
+    // Faulted arm: same config, degraded scene, fault-injecting campaign.
+    let plan = FaultPlan::standard(
+        seed::derive(cfg.seed, "testkit-plan", 0),
+        clean_world.campaign_duration(),
+    );
+    let mut faulted_world = World::build(&world_cfg);
+    let scene = plan.degrade_scene(&mut faulted_world);
+    let campaign = plan.campaign();
+    let results: Vec<((IxpId, Vec<InterfaceSamples>), FaultCounts)> = {
+        let _sp = rp_obs::span("testkit.check.faulted");
+        faulted_world
+            .studied_ixps()
+            .par_iter()
+            .map(|&ixp| {
+                let (samples, _, counts) = campaign.probe_ixp_full(&faulted_world, ixp, false);
+                ((ixp, samples), counts)
+            })
+            .collect()
+    };
+    let (probed, counts): (Vec<_>, Vec<FaultCounts>) = results.into_iter().unzip();
+    let mut injected = FaultCounts::default();
+    for c in &counts {
+        injected.merge(c);
+    }
+    rp_obs::counter!("testkit.faults.injected").add(injected.total());
+    let faulted = attach_entries(&faulted_world, probed, &fcfg);
+
+    let mut h = Harness::new();
+    let apply = |s: &InterfaceSamples,
+                 entry: &ListingEntry|
+     -> Result<AnalyzedInterface, Discard> { filters::apply(s, entry, &fcfg) };
+
+    // Classification invariants over the observed minima plus a boundary
+    // grid straddling the 10/20/50 ms class edges.
+    {
+        let _sp = rp_obs::span("testkit.check.invariants");
+        let mut rtts: Vec<f64> = vec![0.3, 9.99, 10.0, 19.99, 20.0, 49.99, 50.0, 180.0];
+        rtts.extend(
+            clean
+                .interfaces
+                .iter()
+                .chain(faulted.interfaces.iter())
+                .filter_map(|(_, s, _)| s.min_rtt_ms())
+                .take(64),
+        );
+        invariants::classify_monotone(&mut h, &class_index, &rtts, &[0.0, 0.01, 5.0, 40.0]);
+
+        let minima: Vec<f64> = clean
+            .interfaces
+            .iter()
+            .chain(faulted.interfaces.iter())
+            .filter_map(|(_, s, _)| s.min_rtt_ms())
+            .collect();
+        let remote_count = |t: f64| -> usize { minima.iter().filter(|&&m| m >= t).count() };
+        invariants::threshold_monotone(&mut h, &remote_count, &[2.0, 5.0, 10.0, 20.0, 50.0, 100.0]);
+
+        // Sample-level perturbation trials, drawn round-robin from the
+        // clean and faulted interface pools.
+        let pool: Vec<&(IxpId, InterfaceSamples, ListingEntry)> = clean
+            .interfaces
+            .iter()
+            .chain(faulted.interfaces.iter())
+            .collect();
+        if !pool.is_empty() {
+            for trial in 0..cfg.fault_trials {
+                let mut rng = seed::rng2(cfg.seed, "testkit-trial", trial, 0);
+                let (_, s, entry) = pool[trial as usize % pool.len()];
+                let bound = |s: &InterfaceSamples| apply(s, entry);
+                invariants::permutation_invariant(&mut h, &bound, s, &mut rng);
+                invariants::loss_conservative(&mut h, &bound, s, &mut rng);
+                let delta = rng.random::<f64>() * 60.0;
+                invariants::inflation_preserves_keep(&mut h, &bound, &class_index, s, delta);
+                invariants::ttl_rewrite_discards(&mut h, &bound, s, 7, &mut rng);
+            }
+        }
+
+        // Offload monotonicity on the (degraded) world.
+        offload_invariant(&mut h, &mut faulted_world);
+
+        // Econ scale invariance at the example point and seeded nearby ones.
+        let mut rng = seed::rng(cfg.seed, "testkit-econ", 0);
+        let mut params = vec![CostParams::example()];
+        for _ in 0..8 {
+            let mut p = CostParams::example();
+            p.p *= 1.0 + rng.random::<f64>();
+            p.b = 0.1 + rng.random::<f64>() * 2.0;
+            params.push(p);
+        }
+        for p in &params {
+            invariants::econ_scale_invariant(
+                &mut h,
+                &|q: &CostParams| viability_margin(q),
+                p,
+                &[0.25, 2.0, 1000.0],
+            );
+        }
+
+        // Paired-delta antisymmetry on the clean-vs-faulted analyzed
+        // counts — the exact comparison shape `rp-scenario` sweeps use,
+        // surviving the injected faults.
+        let mut acc_clean = Accumulator::new();
+        let mut acc_faulted = Accumulator::new();
+        for (ixp, n) in &clean.analyzed_per_ixp {
+            acc_clean.record(ixp.0 as u64, *n as f64);
+        }
+        for (ixp, n) in &faulted.analyzed_per_ixp {
+            acc_faulted.record(ixp.0 as u64, *n as f64);
+        }
+        invariants::paired_delta_antisymmetric(
+            &mut h,
+            &|a, b| paired_deltas(a, b),
+            &acc_clean,
+            &acc_faulted,
+        );
+
+        // Replay exactness of a full faulted single-IXP probe.
+        if let Some(&ixp) = faulted_world.studied_ixps().first() {
+            invariants::replay_exact(&mut h, "faulted-probe", &|| {
+                let (samples, _, counts) = campaign.probe_ixp_full(&faulted_world, ixp, false);
+                (samples, counts)
+            });
+        }
+
+        // Spec round-trip stability for every preset.
+        let reser = |text: &str| -> Result<String, String> {
+            rp_scenario::ScenarioSpec::from_json(text)
+                .map(|s| serde_json::to_string(&s.to_json()).expect("spec renders"))
+                .map_err(|e| e.to_string())
+        };
+        for name in rp_scenario::ScenarioSpec::preset_names() {
+            let spec = rp_scenario::ScenarioSpec::preset(name).expect("listed preset exists");
+            let text = serde_json::to_string(&spec.to_json()).expect("spec renders");
+            invariants::roundtrip_stable(&mut h, &reser, name, &text);
+        }
+    }
+
+    // Parser fuzzing.
+    let fuzz = {
+        let _sp = rp_obs::span("testkit.check.fuzz");
+        fuzz::run(seed::derive(cfg.seed, "testkit-fuzz", 0), cfg.fuzz_iters)
+    };
+
+    rp_obs::counter!("testkit.invariants.checks").add(h.checks);
+    rp_obs::counter!("testkit.invariants.violations").add(h.violations.len() as u64);
+
+    CheckOutcome {
+        config: cfg.clone(),
+        injected,
+        scene,
+        clean_analyzed: clean.analyzed(),
+        faulted_analyzed: faulted.analyzed(),
+        harness: h,
+        fuzz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CheckConfig {
+        CheckConfig {
+            seed: 5,
+            fault_trials: 24,
+            fuzz_iters: 40,
+            paper_scale: false,
+        }
+    }
+
+    #[test]
+    fn check_passes_and_replays_bit_identically() {
+        let a = run_check(&small());
+        assert!(a.passed(), "{:?} {:?}", a.harness.violations, a.fuzz.panics);
+        assert!(a.injected.total() > 0, "the standard plan must inject");
+        assert!(a.scene.stale_rows > 0);
+        assert!(a.harness.checks > 50);
+        assert!(
+            a.faulted_analyzed < a.clean_analyzed,
+            "faults should cost analyzed interfaces ({} vs {})",
+            a.faulted_analyzed,
+            a.clean_analyzed
+        );
+
+        let b = run_check(&small());
+        assert_eq!(
+            serde_json::to_string(&a.to_json()).unwrap(),
+            serde_json::to_string(&b.to_json()).unwrap(),
+            "check report must be a pure function of its config"
+        );
+    }
+
+    #[test]
+    fn different_seed_injects_differently() {
+        let a = run_check(&small());
+        let mut cfg = small();
+        cfg.seed = 6;
+        let b = run_check(&cfg);
+        assert!(b.passed(), "{:?} {:?}", b.harness.violations, b.fuzz.panics);
+        assert_ne!(a.injected, b.injected);
+    }
+}

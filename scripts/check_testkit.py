@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate for the `repro check` fault-injection report.
+
+Fails (exit 1) when the report is missing or malformed, when any
+metamorphic invariant was violated, when the fuzzer caught a panic, when
+the run injected no faults (a harness that stresses nothing proves
+nothing), or when the binary's own verdict is not PASS. Mirrors the
+assertions of tests/check_determinism.rs so a regression fails CI even if
+someone runs the check step without the test suite.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def main(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        errors.append(f"report missing: {e}")
+        return
+    except ValueError as e:
+        errors.append(f"report does not parse: {e}")
+        return
+
+    faults = report.get("faults")
+    if not isinstance(faults, dict):
+        errors.append("faults section missing")
+    else:
+        if faults.get("link_total", 0) == 0:
+            errors.append("no link faults injected — the harness exercised nothing")
+        if faults.get("decisions", 0) <= faults.get("link_total", 0):
+            errors.append("fault decisions do not dominate injections")
+        if faults.get("stale_rows", 0) == 0:
+            errors.append("no stale registry rows injected")
+
+    pipeline = report.get("pipeline", {})
+    if pipeline.get("clean_analyzed", 0) == 0:
+        errors.append("clean pipeline analyzed no interfaces")
+    if pipeline.get("faulted_analyzed", 0) >= pipeline.get("clean_analyzed", 0):
+        errors.append(
+            "faults did not reduce analyzed interfaces: "
+            f"{pipeline.get('faulted_analyzed')} faulted vs "
+            f"{pipeline.get('clean_analyzed')} clean"
+        )
+
+    invariants = report.get("invariants", {})
+    if invariants.get("checks", 0) == 0:
+        errors.append("no invariant checks executed")
+    for v in invariants.get("violations", []):
+        errors.append(f"invariant violated: {v.get('invariant')}: {v.get('detail')}")
+
+    fuzz = report.get("fuzz", {})
+    if fuzz.get("iterations", 0) == 0:
+        errors.append("fuzzer ran zero iterations")
+    if not any(n > 0 for n in fuzz.get("accepted", {}).values()):
+        errors.append("fuzzer never produced an accepted input")
+    if not any(n > 0 for n in fuzz.get("rejected", {}).values()):
+        errors.append("fuzzer never produced a rejected input")
+    for p in fuzz.get("panics", []):
+        errors.append(f"fuzzer caught a panic: {p}")
+
+    if report.get("passed") is not True:
+        errors.append("check verdict is not PASS")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: check_testkit.py CHECK_REPORT_JSON", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
+    if errors:
+        for e in errors:
+            print(f"check_testkit: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_testkit: {sys.argv[1]} OK")

@@ -230,9 +230,16 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Maximum container nesting accepted by [`from_str`]. The parser is
+/// recursive-descent, so without a cap a document like `[[[[…` converts
+/// attacker-controlled input length into stack depth and aborts the whole
+/// process with a stack overflow instead of returning an `Err`.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -262,8 +269,8 @@ impl<'a> Parser<'a> {
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.nested(Parser::parse_object),
+            Some(b'[') => self.nested(Parser::parse_array),
             Some(b'"') => Ok(Value::String(self.parse_string()?)),
             Some(b't') => self.parse_literal("true", Value::Bool(true)),
             Some(b'f') => self.parse_literal("false", Value::Bool(false)),
@@ -272,6 +279,19 @@ impl<'a> Parser<'a> {
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Parser<'a>) -> Result<Value, Error>,
+    ) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
     }
 
     fn parse_literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
@@ -354,18 +374,38 @@ impl<'a> Parser<'a> {
                         Some(b'b') => s.push('\u{8}'),
                         Some(b'f') => s.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogates (emitted only for control chars by
-                            // our writer) decode to the replacement char.
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            self.pos += 1;
+                            let code = self.parse_hex4()?;
+                            match code {
+                                // A high surrogate must be followed by a
+                                // low one; decode the pair to one scalar.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(self.err("lone surrogate in \\u escape"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired surrogate in \\u escape"));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    s.push(
+                                        char::from_u32(scalar)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone surrogate in \\u escape"));
+                                }
+                                _ => s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?,
+                                ),
+                            }
+                            // The shared escape epilogue below advances one
+                            // byte; parse_hex4 left pos on the last hex
+                            // digit's successor, so step back to compensate.
+                            self.pos -= 1;
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -387,6 +427,19 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Four hex digits at the cursor (the payload of a `\u` escape);
+    /// leaves the cursor just past them.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn parse_number(&mut self) -> Result<Value, Error> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
@@ -405,16 +458,24 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        if is_float {
-            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        // Overflowing literals like `1e999` parse to infinity, which JSON
+        // cannot represent (our writer falls back to `null` for it), so an
+        // input whose magnitude exceeds f64 is a parse error, not a value.
+        let float = |p: &Parser<'_>| -> Result<Value, Error> {
+            let v: f64 = text.parse().map_err(|_| p.err("invalid number"))?;
+            if !v.is_finite() {
+                return Err(p.err("number out of range"));
+            }
             Ok(Value::Number(Number::F(v)))
+        };
+        if is_float {
+            float(self)
         } else if let Ok(v) = text.parse::<i64>() {
             Ok(Value::Number(Number::I(v)))
         } else if let Ok(v) = text.parse::<u64>() {
             Ok(Value::Number(Number::U(v)))
         } else {
-            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
-            Ok(Value::Number(Number::F(v)))
+            float(self)
         }
     }
 }
@@ -425,6 +486,7 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.parse_value()?;
     p.skip_ws();
@@ -689,6 +751,45 @@ mod tests {
         assert_eq!(nested.as_array().unwrap().len(), 4);
         assert!(from_str("{\"unterminated\": ").is_err());
         assert!(from_str("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Past regression: unbounded recursion turned input length into
+        // stack depth and aborted the process on documents like this one.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(from_str(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000) + "null" + &"}".repeat(100_000);
+        assert!(from_str(&deep_obj).is_err());
+        // Nesting below the cap still parses.
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn surrogate_escapes() {
+        // Valid pair: U+1D11E (musical G clef).
+        let v = from_str("\"\\uD834\\uDD1E\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1D11E}"));
+        // Past regression: lone surrogates silently became U+FFFD.
+        assert!(from_str("\"\\uD800\"").is_err());
+        assert!(from_str("\"\\uDC00\"").is_err());
+        assert!(from_str("\"\\uD800x\"").is_err());
+        assert!(from_str("\"\\uD800\\u0041\"").is_err());
+        // Non-surrogate escapes are unaffected.
+        assert_eq!(from_str("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn overflowing_numbers_error() {
+        // Past regression: 1e999 parsed to infinity, which re-serialized
+        // as `null`.
+        assert!(from_str("1e999").is_err());
+        assert!(from_str("-1e999").is_err());
+        assert!(from_str("[1, 1e999]").is_err());
+        // Large but representable magnitudes still parse.
+        assert!(from_str("1e308").is_ok());
+        assert!(from_str("123456789012345678901234567890").is_ok());
     }
 
     #[test]
