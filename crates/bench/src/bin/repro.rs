@@ -83,6 +83,10 @@ struct Args {
     faults: Option<u64>,
     /// `--fuzz` iteration count for `check` (default 500).
     fuzz: Option<u64>,
+    /// `--json` output path for `bench` (default `BENCH_5.json`).
+    json_out: Option<PathBuf>,
+    /// `--quick` single-repetition smoke mode for `bench` (CI).
+    quick: bool,
 }
 
 fn usage_text() -> String {
@@ -90,7 +94,8 @@ fn usage_text() -> String {
         "usage: repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]\n\
          \x20            [--threads N] [--report [PATH]] [--trace]\n\
          \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\
-         \x20      repro check [--faults N] [--fuzz N] [other flags]\n\nexperiments:\n",
+         \x20      repro check [--faults N] [--fuzz N] [other flags]\n\
+         \x20      repro bench [--json PATH] [--quick] [other flags]\n\nexperiments:\n",
     );
     for chunk in EXPERIMENTS.chunks(8) {
         s.push_str("  ");
@@ -108,6 +113,8 @@ fn usage_text() -> String {
          \x20 --replicates N    sweep replicate seeds per cell (default: the spec's)\n\
          \x20 --faults N        check: perturbation trials (default 200)\n\
          \x20 --fuzz N          check: fuzzer iterations per target (default 500)\n\
+         \x20 --json PATH       bench: result file (default BENCH_5.json)\n\
+         \x20 --quick           bench: single repetition (CI smoke run)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
          \x20 --trace           print the span tree to stderr\n",
@@ -134,6 +141,8 @@ fn parse_args() -> Args {
         replicates: None,
         faults: None,
         fuzz: None,
+        json_out: None,
+        quick: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -197,6 +206,14 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| bad_usage("--fuzz requires a numeric count")),
                 )
             }
+            "--json" => {
+                args.json_out = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| bad_usage("--json requires a file path")),
+                )
+            }
+            "--quick" => args.quick = true,
             "--trace" => args.trace = true,
             "--help" | "-h" => {
                 print!("{}", usage_text());
@@ -204,6 +221,7 @@ fn parse_args() -> Args {
             }
             "sweep" => args.experiment = "sweep".to_string(),
             "check" => args.experiment = "check".to_string(),
+            "bench" => args.experiment = "bench".to_string(),
             other if !other.starts_with('-') => {
                 if args.experiment == "sweep" && args.sweep_spec.is_none() {
                     args.sweep_spec = Some(other.to_string());
@@ -495,6 +513,190 @@ fn resolve_spec(arg: &str) -> rp_scenario::ScenarioSpec {
 
 /// The `sweep` subcommand: expand the spec, run the replication engine,
 /// print a per-cell digest, and write the full statistics JSON.
+/// One row of the `bench` subcommand's schema-stable output.
+struct BenchRow {
+    name: &'static str,
+    ops: u64,
+    ns_per_op: f64,
+    /// Simulator events retired per op (0 when the bench has no event
+    /// loop; the queue microbenches count queue operations as events).
+    events_per_op: f64,
+}
+
+impl BenchRow {
+    fn events_per_sec(&self) -> f64 {
+        if self.events_per_op == 0.0 {
+            0.0
+        } else {
+            self.events_per_op * 1e9 / self.ns_per_op
+        }
+    }
+}
+
+/// The `bench` subcommand: a fixed suite of data-plane benchmarks whose
+/// JSON output keeps the same keys from run to run (`BENCH_5.json` in CI
+/// artifacts and at the repository root). `--quick` drops to a single
+/// repetition so CI can smoke-run the suite without paying for stable
+/// numbers.
+fn run_bench_command(args: &Args) {
+    use rp_netsim::event::{Event, EventQueue};
+    use rp_netsim::NodeId;
+    use rp_types::SimTime;
+
+    let cfg = match args.scale.as_str() {
+        "paper" => WorldConfig::paper_scale(args.seed),
+        "test" => WorldConfig::test_scale(args.seed),
+        other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
+    };
+    let reps: u64 = if args.quick { 1 } else { 5 };
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    eprintln!(
+        "bench: scale={} seed={} reps={} ...",
+        args.scale, args.seed, reps
+    );
+
+    // World construction (topology + scene + registry + routing).
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(World::build(&cfg));
+    }
+    rows.push(BenchRow {
+        name: "world_build",
+        ops: reps,
+        ns_per_op: t.elapsed().as_nanos() as f64 / reps as f64,
+        events_per_op: 0.0,
+    });
+
+    let world = World::build(&cfg);
+    let campaign = Campaign::default_paper();
+    let ixps = world.studied_ixps();
+
+    // One full campaign pass counts the events and warms the allocator.
+    let events: u64 = ixps
+        .iter()
+        .map(|&ixp| campaign.probe_ixp_trace(&world, ixp).1)
+        .sum();
+
+    // Pure event-loop throughput: build + schedule + run every studied
+    // IXP serially, no sample collection.
+    let t = Instant::now();
+    for _ in 0..reps {
+        let n: u64 = ixps
+            .iter()
+            .map(|&ixp| campaign.probe_ixp_trace(&world, ixp).1)
+            .sum();
+        assert_eq!(n, events, "event count must be reproducible");
+    }
+    rows.push(BenchRow {
+        name: "probe_trace_serial",
+        ops: reps,
+        ns_per_op: t.elapsed().as_nanos() as f64 / reps as f64,
+        events_per_op: events as f64,
+    });
+
+    // The production path: parallel over IXPs, with sample collection.
+    std::hint::black_box(campaign.probe_all(&world));
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(campaign.probe_all(&world));
+    }
+    rows.push(BenchRow {
+        name: "probe_all",
+        ops: reps,
+        ns_per_op: t.elapsed().as_nanos() as f64 / reps as f64,
+        events_per_op: events as f64,
+    });
+
+    // Calendar-queue microbenches. Spread: pops chase pushes through
+    // distinct buckets. Burst: 200 same-time events per drain round (the
+    // ARP-flood shape the lazy-sort buckets exist for).
+    let timer = |i: u32| Event::Timer {
+        node: NodeId(i),
+        token: 0,
+    };
+    let n: u64 = if args.quick { 100_000 } else { 1_000_000 };
+    let t = Instant::now();
+    let mut q = EventQueue::new();
+    for i in 0..n {
+        q.push(SimTime(i * 1_000_000), timer(i as u32));
+        if i % 4 == 3 {
+            for _ in 0..4 {
+                std::hint::black_box(q.pop());
+            }
+        }
+    }
+    rows.push(BenchRow {
+        name: "event_queue_spread",
+        ops: n,
+        ns_per_op: t.elapsed().as_nanos() as f64 / n as f64,
+        events_per_op: 1.0,
+    });
+
+    let rounds = n / 200;
+    let t = Instant::now();
+    let mut q = EventQueue::new();
+    for r in 0..rounds {
+        let at = SimTime(r * 50_000_000);
+        for i in 0..200u32 {
+            q.push(at, timer(i));
+        }
+        while q.pop().is_some() {}
+    }
+    rows.push(BenchRow {
+        name: "event_queue_burst200",
+        ops: rounds * 200,
+        ns_per_op: t.elapsed().as_nanos() as f64 / (rounds * 200) as f64,
+        events_per_op: 1.0,
+    });
+
+    println!("==== bench {}", "=".repeat(55));
+    println!(
+        "{:<22} {:>10} {:>14} {:>16}",
+        "benchmark", "ops", "ns/op", "events/sec"
+    );
+    for row in &rows {
+        println!(
+            "{:<22} {:>10} {:>14.1} {:>16.0}",
+            row.name,
+            row.ops,
+            row.ns_per_op,
+            row.events_per_sec()
+        );
+    }
+
+    let bench_values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|row| {
+            serde_json::json!({
+                "name": row.name,
+                "ops": row.ops,
+                "ns_per_op": row.ns_per_op,
+                "events_per_op": row.events_per_op,
+                "events_per_sec": row.events_per_sec(),
+            })
+        })
+        .collect();
+    let out = serde_json::json!({
+        "schema": "rp-bench/1",
+        "seed": args.seed,
+        "scale": args.scale,
+        "quick": args.quick,
+        "threads": rayon::current_num_threads(),
+        "total_events_per_campaign": events,
+        "benches": bench_values,
+    });
+    let path = args
+        .json_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_5.json"));
+    write_output(
+        &path,
+        &serde_json::to_string_pretty(&out).expect("serialize bench output"),
+    );
+    eprintln!("bench results: {}", path.display());
+}
+
 fn run_sweep_command(args: &Args, spec_arg: &str) {
     let _run = rp_obs::span("repro.run");
     let spec = resolve_spec(spec_arg);
@@ -725,6 +927,11 @@ fn main() {
         if args.trace {
             eprint!("{}", rp_obs::report::render_trace());
         }
+        return;
+    }
+
+    if args.experiment == "bench" {
+        run_bench_command(&args);
         return;
     }
 

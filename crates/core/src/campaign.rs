@@ -215,6 +215,86 @@ impl Campaign {
         rp_netsim::FaultCounts,
     ) {
         let inst = world.scene.ixp(ixp);
+        let (net, lgs, listed, route_server) = self.run_campaign_ixp(world, ixp, with_route_server);
+
+        // --- Collect samples per interface, per LG.
+        let inst_lg = &inst.meta.lg;
+        let mut per_iface: Vec<InterfaceSamples> = listed
+            .iter()
+            .map(|(_, m)| InterfaceSamples {
+                ip: m.ip,
+                per_lg: inst_lg.iter().map(|&op| (op, Vec::new())).collect(),
+                unanswered: inst_lg.iter().map(|&op| (op, 0)).collect(),
+            })
+            .collect();
+        let index_of: HashMap<Ipv4Addr, usize> = listed
+            .iter()
+            .enumerate()
+            .map(|(i, (_, m))| (m.ip, i))
+            .collect();
+        let rtt_hist = rp_obs::histogram!("core.campaign.rtt_ms", rp_obs::metrics::RTT_MS_BUCKETS);
+        rp_obs::counter!("core.campaign.interfaces_probed").add(listed.len() as u64);
+        for (k, (_, host)) in lgs.iter().enumerate() {
+            for outcome in net.host(*host).outcomes() {
+                let Some(&i) = index_of.get(&outcome.target) else {
+                    continue;
+                };
+                match outcome.reply {
+                    Some(r) => {
+                        rtt_hist.observe(r.rtt.as_millis_f64());
+                        per_iface[i].per_lg[k].1.push(Sample {
+                            sent_at: outcome.sent_at.unwrap_or(outcome.planned_at),
+                            rtt_ms: r.rtt.as_millis_f64(),
+                            ttl: r.ttl,
+                        })
+                    }
+                    None => per_iface[i].unanswered[k].1 += 1,
+                }
+            }
+        }
+
+        let rs_mins = route_server.map(|rs| {
+            let mut mins: HashMap<Ipv4Addr, f64> = HashMap::new();
+            for outcome in net.host(rs).outcomes() {
+                if let Some(r) = outcome.reply {
+                    let e = mins.entry(outcome.target).or_insert(f64::INFINITY);
+                    *e = e.min(r.rtt.as_millis_f64());
+                }
+            }
+            listed
+                .iter()
+                .map(|(_, m)| (m.ip, mins.get(&m.ip).copied()))
+                .collect()
+        });
+
+        (per_iface, rs_mins, net.fault_counts())
+    }
+
+    /// Build, schedule, and run one IXP's campaign to completion, returning
+    /// the run's event-trace digest and total dispatched events. The probe
+    /// samples are discarded — this entry point exists for the determinism
+    /// tests (golden trace digests) and the `repro bench` events/sec
+    /// measurement.
+    pub fn probe_ixp_trace(&self, world: &World, ixp: IxpId) -> (u64, u64) {
+        let (net, _, _, _) = self.run_campaign_ixp(world, ixp, false);
+        (net.trace_digest(), net.events_processed())
+    }
+
+    /// The shared engine of [`Campaign::probe_ixp_full`] and
+    /// [`Campaign::probe_ixp_trace`]: materialize the scene, schedule every
+    /// LG query (and optional route-server pings), and run to completion.
+    #[allow(clippy::type_complexity)]
+    fn run_campaign_ixp(
+        &self,
+        world: &World,
+        ixp: IxpId,
+        with_route_server: bool,
+    ) -> (
+        Network,
+        Vec<(LgOperator, NodeId)>,
+        Vec<(u32, MemberInterface)>,
+        Option<NodeId>,
+    ) {
         let duration = world.campaign_duration();
         let BuiltIxp {
             mut net,
@@ -291,57 +371,7 @@ impl Campaign {
 
         net.run_to_completion();
 
-        // --- Collect samples per interface, per LG.
-        let inst_lg = &inst.meta.lg;
-        let mut per_iface: Vec<InterfaceSamples> = listed
-            .iter()
-            .map(|(_, m)| InterfaceSamples {
-                ip: m.ip,
-                per_lg: inst_lg.iter().map(|&op| (op, Vec::new())).collect(),
-                unanswered: inst_lg.iter().map(|&op| (op, 0)).collect(),
-            })
-            .collect();
-        let index_of: HashMap<Ipv4Addr, usize> = listed
-            .iter()
-            .enumerate()
-            .map(|(i, (_, m))| (m.ip, i))
-            .collect();
-        let rtt_hist = rp_obs::histogram!("core.campaign.rtt_ms", rp_obs::metrics::RTT_MS_BUCKETS);
-        rp_obs::counter!("core.campaign.interfaces_probed").add(listed.len() as u64);
-        for (k, (_, host)) in lgs.iter().enumerate() {
-            for outcome in net.host(*host).outcomes() {
-                let Some(&i) = index_of.get(&outcome.target) else {
-                    continue;
-                };
-                match outcome.reply {
-                    Some(r) => {
-                        rtt_hist.observe(r.rtt.as_millis_f64());
-                        per_iface[i].per_lg[k].1.push(Sample {
-                            sent_at: outcome.sent_at.unwrap_or(outcome.planned_at),
-                            rtt_ms: r.rtt.as_millis_f64(),
-                            ttl: r.ttl,
-                        })
-                    }
-                    None => per_iface[i].unanswered[k].1 += 1,
-                }
-            }
-        }
-
-        let rs_mins = route_server.map(|rs| {
-            let mut mins: HashMap<Ipv4Addr, f64> = HashMap::new();
-            for outcome in net.host(rs).outcomes() {
-                if let Some(r) = outcome.reply {
-                    let e = mins.entry(outcome.target).or_insert(f64::INFINITY);
-                    *e = e.min(r.rtt.as_millis_f64());
-                }
-            }
-            listed
-                .iter()
-                .map(|(_, m)| (m.ip, mins.get(&m.ip).copied()))
-                .collect()
-        });
-
-        (per_iface, rs_mins, net.fault_counts())
+        (net, lgs, listed, route_server)
     }
 
     /// Traceroute survey: run layer-3 path discovery from the first LG
@@ -411,6 +441,21 @@ impl Campaign {
                 (ixp, self.probe_ixp(world, ixp))
             })
             .collect()
+    }
+
+    /// Memoized [`Campaign::probe_all`]: the probe set is fetched from the
+    /// process-wide memo under `(world fingerprint, campaign fingerprint)`
+    /// and computed once on a miss. Safe because probing is a pure
+    /// function of `(world, campaign)` and mutated worlds carry a unique
+    /// fingerprint (see [`World::mark_mutated`]). `probe_all` itself never
+    /// consults the cache, so benchmarks and determinism tests that call
+    /// it keep measuring real work.
+    pub fn probe_all_cached(
+        &self,
+        world: &World,
+    ) -> std::sync::Arc<Vec<(IxpId, Vec<InterfaceSamples>)>> {
+        let key = (world.fingerprint(), crate::memo::fingerprint(self));
+        crate::memo::probes_cached(key, || self.probe_all(world))
     }
 
     /// Reference serial implementation of [`Campaign::probe_all`], kept for the

@@ -78,12 +78,18 @@ pub struct DetectionReport {
 
 impl DetectionReport {
     /// Probe and analyze every studied IXP.
+    ///
+    /// The probe set comes from the process-wide memo
+    /// ([`Campaign::probe_all_cached`]), so re-running the report for the
+    /// same `(world, campaign)` — as `repro all`'s experiment groups do —
+    /// reuses one campaign.
     pub fn run(world: &World, campaign: &Campaign) -> Self {
         let _sp = rp_obs::span("core.detect.run");
         let mut studies = Vec::new();
         let mut stats = FilterStats::default();
-        for (ixp, samples) in campaign.probe_all(world) {
-            let study = DetectionStudy::analyze_ixp(world, ixp, &samples);
+        let probed = campaign.probe_all_cached(world);
+        for (ixp, samples) in probed.iter() {
+            let study = DetectionStudy::analyze_ixp(world, *ixp, samples);
             stats.merge(&study.stats);
             studies.push(study);
         }

@@ -79,6 +79,7 @@ pub mod filters;
 pub mod flattening;
 pub mod identify;
 pub mod implications;
+pub mod memo;
 pub mod metrics;
 pub mod offload;
 pub mod probe;

@@ -1,0 +1,225 @@
+//! Content-addressed memoization of world builds and campaign probes.
+//!
+//! Building a [`World`] and probing it are by far the
+//! most expensive steps in the pipeline, and several callers repeat them
+//! with identical inputs: `repro check` builds the same world for its clean
+//! and faulted arms, the sweep engine re-derives the same replicate seeds
+//! across presets, and `repro all` re-enters the detection report per
+//! experiment group. Both artifacts are pure functions of their
+//! configuration, so they are cached here under a *content address*: the
+//! FNV-64 fingerprint of the configuration's canonical JSON encoding.
+//!
+//! Keying rules:
+//!
+//! - A world's key is the fingerprint of its
+//!   [`WorldConfig`](crate::world::WorldConfig)
+//!   (which embeds the seed, so "same knobs, different seed" never
+//!   collides by construction).
+//! - A probe set's key is the pair `(world key, campaign fingerprint)`.
+//! - Mutating a cached world in place (fault injection, invariant probes)
+//!   must go through [`World::mark_mutated`],
+//!   which swaps the key for a process-unique nonce: the mutated world can
+//!   still be probed, but its results are filed under the nonce and can
+//!   never be confused with the pristine build.
+//!
+//! The caches are small bounded FIFOs (eight entries each — enough to keep
+//! a sweep preset's replicate set resident) guarded by plain mutexes. The
+//! lock is **not** held while building or probing: two threads racing on
+//! the same key may both compute, but the results are deterministic and
+//! identical, so the loser's copy is simply dropped.
+
+use crate::probe::InterfaceSamples;
+use crate::world::World;
+use rp_types::IxpId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Raw per-IXP campaign output, as produced by
+/// [`Campaign::probe_all`](crate::campaign::Campaign::probe_all).
+pub type ProbeSet = Vec<(IxpId, Vec<InterfaceSamples>)>;
+
+/// Entries kept per cache. A sweep preset probes at most a handful of
+/// distinct worlds per replicate seed; eight slots keep a full replicate
+/// set resident without letting a long campaign pin unbounded memory.
+const CACHE_CAP: usize = 8;
+
+/// FNV-1a 64 fingerprint of a configuration's `Debug` encoding.
+///
+/// The derived `Debug` output is canonical enough here: the config structs
+/// are plain field structs of scalars, strings, and nested config structs,
+/// so equal values render identical text (floats included — Rust's float
+/// formatting is the exact shortest round-trip form). Only ever hash plain
+/// data this way; anything whose `Debug` prints addresses or other
+/// run-varying state would break the content addressing.
+pub fn fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for &b in s.as_bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    use std::fmt::Write;
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    write!(h, "{value:?}").expect("the FNV sink never errors");
+    h.0
+}
+
+/// A process-unique key that can never hit the cache again.
+///
+/// The high bit tags nonces apart from JSON fingerprints in debug output;
+/// correctness only needs the counter's uniqueness.
+pub(crate) fn mutation_nonce() -> u64 {
+    static NONCE: AtomicU64 = AtomicU64::new(1);
+    (1 << 63) | NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A bounded FIFO of `(key, shared value)` pairs behind a mutex.
+type FifoCache<K, V> = Mutex<VecDeque<(K, Arc<V>)>>;
+
+fn world_cache() -> &'static FifoCache<u64, World> {
+    static CACHE: OnceLock<FifoCache<u64, World>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+fn probe_cache() -> &'static FifoCache<(u64, u64), ProbeSet> {
+    static CACHE: OnceLock<FifoCache<(u64, u64), ProbeSet>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Look `key` up in `cache`, computing (outside the lock) and inserting on
+/// a miss. On a concurrent double-compute the first inserter wins and the
+/// second copy is dropped — both are deterministic, so either is correct.
+fn get_or_insert<K: Eq + Copy, V>(
+    cache: &FifoCache<K, V>,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> Arc<V> {
+    if let Some(hit) = cache
+        .lock()
+        .expect("memo cache lock")
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.clone())
+    {
+        return hit;
+    }
+    let value = Arc::new(compute());
+    let mut c = cache.lock().expect("memo cache lock");
+    if let Some(raced) = c.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone()) {
+        return raced;
+    }
+    while c.len() >= CACHE_CAP {
+        c.pop_front();
+    }
+    c.push_back((key, value.clone()));
+    value
+}
+
+/// Fetch or build the world keyed `fp` (the fingerprint of its config).
+pub(crate) fn world_cached(fp: u64, build: impl FnOnce() -> World) -> Arc<World> {
+    let mut missed = false;
+    let world = get_or_insert(world_cache(), fp, || {
+        missed = true;
+        build()
+    });
+    if missed {
+        rp_obs::counter!("core.memo.world_miss").add(1);
+    } else {
+        rp_obs::counter!("core.memo.world_hit").add(1);
+    }
+    world
+}
+
+/// Fetch or compute the probe set keyed `(world key, campaign key)`.
+pub(crate) fn probes_cached(key: (u64, u64), probe: impl FnOnce() -> ProbeSet) -> Arc<ProbeSet> {
+    let mut missed = false;
+    let probes = get_or_insert(probe_cache(), key, || {
+        missed = true;
+        probe()
+    });
+    if missed {
+        rp_obs::counter!("core.memo.probe_miss").add(1);
+    } else {
+        rp_obs::counter!("core.memo.probe_hit").add(1);
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let a = WorldConfig::test_scale(7);
+        let b = WorldConfig::test_scale(7);
+        let c = WorldConfig::test_scale(8);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn same_config_shares_one_world_build() {
+        let cfg = WorldConfig::test_scale(4201);
+        let a = World::build_cached(&cfg);
+        let b = World::build_cached(&cfg);
+        assert!(Arc::ptr_eq(&a, &b), "second build should be a cache hit");
+    }
+
+    #[test]
+    fn cached_world_equals_direct_build() {
+        let cfg = WorldConfig::test_scale(4202);
+        let cached = World::build_cached(&cfg);
+        let direct = World::build(&cfg);
+        assert_eq!(cached.vantage, direct.vantage);
+        assert_eq!(cached.contributions.inbound, direct.contributions.inbound);
+        assert_eq!(cached.fingerprint(), direct.fingerprint());
+    }
+
+    #[test]
+    fn probe_sets_are_shared_per_world_and_campaign() {
+        let cfg = WorldConfig::test_scale(4203);
+        let world = World::build_cached(&cfg);
+        let campaign = Campaign::default_paper();
+        let a = campaign.probe_all_cached(&world);
+        let b = campaign.probe_all_cached(&world);
+        assert!(Arc::ptr_eq(&a, &b), "second probe should be a cache hit");
+        assert_eq!(*a, campaign.probe_all(&world));
+    }
+
+    #[test]
+    fn mutation_invalidates_the_key() {
+        let cfg = WorldConfig::test_scale(4204);
+        let pristine = World::build_cached(&cfg);
+        let mut mutated = (*pristine).clone();
+        let before = mutated.fingerprint();
+        mutated.mark_mutated();
+        assert_ne!(mutated.fingerprint(), before);
+        assert_ne!(mutated.fingerprint(), pristine.fingerprint());
+        // And a re-mark moves the key again: each mutation event is unique.
+        let first = mutated.fingerprint();
+        mutated.mark_mutated();
+        assert_ne!(mutated.fingerprint(), first);
+    }
+
+    #[test]
+    fn caches_stay_bounded_and_evict_oldest_first() {
+        let cache: Mutex<VecDeque<(u64, Arc<u64>)>> = Mutex::new(VecDeque::new());
+        for k in 0..(3 * CACHE_CAP as u64) {
+            let v = get_or_insert(&cache, k, || k * 10);
+            assert_eq!(*v, k * 10);
+        }
+        let c = cache.lock().unwrap();
+        assert_eq!(c.len(), CACHE_CAP);
+        // FIFO: only the newest CACHE_CAP keys survive.
+        let oldest_kept = 3 * CACHE_CAP as u64 - CACHE_CAP as u64;
+        assert!(c.iter().all(|(k, _)| *k >= oldest_kept));
+    }
+}

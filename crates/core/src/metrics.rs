@@ -45,17 +45,37 @@ impl Default for MethodParams {
 
 /// A built world plus its raw campaign samples, ready to be analyzed under
 /// any [`MethodParams`].
+///
+/// Both fields are shared handles so prepared runs can come out of the
+/// process-wide memo ([`PreparedRun::probe_cached`]) without copying;
+/// deref coercion keeps `&run.world` / `&run.probed` usable wherever
+/// `&World` / `&[(IxpId, _)]` are expected.
 pub struct PreparedRun {
     /// The built world (ground truth included).
-    pub world: World,
+    pub world: std::sync::Arc<World>,
     /// Raw per-IXP campaign samples, in studied-IXP order.
-    pub probed: Vec<(IxpId, Vec<InterfaceSamples>)>,
+    pub probed: std::sync::Arc<Vec<(IxpId, Vec<InterfaceSamples>)>>,
 }
 
 impl PreparedRun {
-    /// Build the probe set for `world` with `campaign`.
+    /// Build the probe set for `world` with `campaign`, bypassing the memo
+    /// (benchmarks and determinism tests measure real work this way).
     pub fn probe(world: World, campaign: &Campaign) -> Self {
         let probed = campaign.probe_all(&world);
+        PreparedRun {
+            world: std::sync::Arc::new(world),
+            probed: std::sync::Arc::new(probed),
+        }
+    }
+
+    /// Memoized variant: fetch (or build) the world for `cfg` and its
+    /// probe set from the process-wide memo. Sweep engine tasks that
+    /// revisit a `(world config, campaign)` pair — identical replicate
+    /// seeds across presets, repeated preset runs in one process — share
+    /// one build + probe.
+    pub fn probe_cached(cfg: &crate::world::WorldConfig, campaign: &Campaign) -> Self {
+        let world = World::build_cached(cfg);
+        let probed = campaign.probe_all_cached(&world);
         PreparedRun { world, probed }
     }
 }

@@ -85,7 +85,12 @@ impl WorldConfig {
 }
 
 /// The assembled scenario.
+#[derive(Clone)]
 pub struct World {
+    /// Content address for the memo caches: the fingerprint of `config`
+    /// while the world is pristine, a unique nonce once it has been
+    /// mutated in place (see [`World::mark_mutated`]).
+    pub(crate) memo_key: u64,
     /// The configuration the world was built from.
     pub config: WorldConfig,
     /// The AS-level Internet.
@@ -196,6 +201,7 @@ impl World {
         );
 
         World {
+            memo_key: crate::memo::fingerprint(cfg),
             config: cfg.clone(),
             topology,
             scene,
@@ -206,6 +212,34 @@ impl World {
             view,
             contributions,
         }
+    }
+
+    /// Fetch `cfg`'s world from the process-wide memo, building it on a
+    /// miss. Callers that probe the same configuration repeatedly (the
+    /// check harness's clean arm, sweep replicates, `repro all`'s
+    /// experiment groups) share a single build this way.
+    ///
+    /// To mutate a cached world, clone it out of the [`std::sync::Arc`]
+    /// and call
+    /// [`World::mark_mutated`] on the copy — never mutate through the
+    /// shared handle (the borrow checker enforces this: `Arc` only hands
+    /// out `&World`).
+    pub fn build_cached(cfg: &WorldConfig) -> std::sync::Arc<World> {
+        crate::memo::world_cached(crate::memo::fingerprint(cfg), || World::build(cfg))
+    }
+
+    /// The world's current content address (config fingerprint, or a
+    /// unique nonce after mutation).
+    pub fn fingerprint(&self) -> u64 {
+        self.memo_key
+    }
+
+    /// Declare that this world no longer matches its config. Every
+    /// in-place mutation site (fault injection, invariant probes that
+    /// push/pop members) must call this so downstream probe memoization
+    /// can never alias the mutated state with the pristine build.
+    pub fn mark_mutated(&mut self) {
+        self.memo_key = crate::memo::mutation_nonce();
     }
 
     /// Length of the probing campaign.

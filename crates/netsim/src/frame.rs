@@ -31,6 +31,20 @@ impl MacAddr {
     pub fn is_broadcast(self) -> bool {
         self == MacAddr::BROADCAST
     }
+
+    /// Inverse of [`from_index`](Self::from_index): the allocation index
+    /// of a simulator-issued MAC, or `None` for any address outside that
+    /// namespace (broadcast, hand-built test addresses). Lets switches
+    /// keep their learned-port tables as dense arrays instead of hash
+    /// maps.
+    #[inline]
+    pub fn as_index(self) -> Option<u64> {
+        let b = self.0;
+        if b[0] != 0x02 {
+            return None;
+        }
+        Some(u64::from_be_bytes([0, 0, 0, b[1], b[2], b[3], b[4], b[5]]))
+    }
 }
 
 impl fmt::Display for MacAddr {
@@ -179,6 +193,96 @@ impl Frame {
     }
 }
 
+/// Handle into a [`FrameArena`]: a dense 4-byte index that in-flight
+/// events carry instead of a 40-byte [`Frame`] copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId(u32);
+
+/// Slab allocator for in-flight frames.
+///
+/// Every frame traversing a link lives in exactly one slot between its
+/// `Send` and its arrival (or drop); the scheduler frees the slot the
+/// moment the frame is handed to the receiving device, so the arena's
+/// high-water mark tracks the number of *simultaneously* in-flight
+/// frames — a few dozen per campaign — not the total frame count.
+/// Freed slots are recycled LIFO so the hot path keeps touching the same
+/// few cache lines.
+///
+/// Lifecycle misuse (double free, use after free) is caught by a
+/// slot-liveness bitmap under `debug_assertions`; release builds pay
+/// nothing for it.
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    slots: Vec<Frame>,
+    free: Vec<u32>,
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
+}
+
+impl FrameArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `frame`, reusing the most recently freed slot if any.
+    #[inline]
+    pub fn alloc(&mut self, frame: Frame) -> FrameId {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = frame;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(!self.live[idx as usize], "allocating a live slot");
+                self.live[idx as usize] = true;
+            }
+            FrameId(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("frame arena overflow");
+            self.slots.push(frame);
+            #[cfg(debug_assertions)]
+            self.live.push(true);
+            FrameId(idx)
+        }
+    }
+
+    /// Read a live frame.
+    #[inline]
+    pub fn get(&self, id: FrameId) -> &Frame {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[id.0 as usize], "use after free: {id:?}");
+        &self.slots[id.0 as usize]
+    }
+
+    /// Copy the frame out and release its slot.
+    #[inline]
+    pub fn take(&mut self, id: FrameId) -> Frame {
+        let frame = self.slots[id.0 as usize];
+        self.release(id);
+        frame
+    }
+
+    /// Release a slot without reading it (dropped frames).
+    #[inline]
+    pub fn release(&mut self, id: FrameId) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.live[id.0 as usize], "double free: {id:?}");
+            self.live[id.0 as usize] = false;
+        }
+        self.free.push(id.0);
+    }
+
+    /// Number of frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (the in-flight high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +300,15 @@ mod tests {
         assert_ne!(a, b);
         // Locally administered, unicast.
         assert_eq!(a.0[0] & 0x03, 0x02);
+    }
+
+    #[test]
+    fn mac_index_round_trips() {
+        for i in [0u64, 1, 255, 256, 0xFFFF_FFFF, (1 << 40) - 1] {
+            assert_eq!(MacAddr::from_index(i).as_index(), Some(i));
+        }
+        assert_eq!(MacAddr::BROADCAST.as_index(), None);
+        assert_eq!(MacAddr([0xAA, 0, 0, 0, 0, 1]).as_index(), None);
     }
 
     #[test]
@@ -227,5 +340,55 @@ mod tests {
         assert_eq!(rarp.sender_ip, member_ip);
         assert_eq!(rarp.sender_mac, member_mac);
         assert_eq!(rarp.target_ip, lg_ip);
+    }
+
+    fn probe(seq: u16) -> Frame {
+        Frame {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            payload: Payload::Ipv4(Ipv4Packet {
+                src: "10.0.0.1".parse().unwrap(),
+                dst: "10.0.0.2".parse().unwrap(),
+                ttl: 64,
+                payload: IcmpMessage::EchoRequest { id: 7, seq },
+            }),
+        }
+    }
+
+    #[test]
+    fn arena_reuses_slots_lifo() {
+        let mut arena = FrameArena::new();
+        let a = arena.alloc(probe(0));
+        let b = arena.alloc(probe(1));
+        assert_ne!(a, b);
+        assert_eq!(arena.in_flight(), 2);
+        assert_eq!(arena.take(b), probe(1));
+        assert_eq!(arena.in_flight(), 1);
+        // LIFO recycling: the slot just freed is handed out again.
+        let c = arena.alloc(probe(2));
+        assert_eq!(c, b);
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(*arena.get(a), probe(0));
+        assert_eq!(*arena.get(c), probe(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn arena_catches_double_free() {
+        let mut arena = FrameArena::new();
+        let id = arena.alloc(probe(0));
+        arena.release(id);
+        arena.release(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    #[cfg(debug_assertions)]
+    fn arena_catches_use_after_free() {
+        let mut arena = FrameArena::new();
+        let id = arena.alloc(probe(0));
+        arena.release(id);
+        let _ = arena.get(id);
     }
 }

@@ -11,7 +11,6 @@ use crate::frame::{ArpOp, Frame, IcmpMessage, Ipv4Packet, MacAddr, Payload};
 use crate::sim::{Action, PortId};
 use rp_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// What kind of ICMP message answered a probe.
@@ -56,18 +55,31 @@ pub struct PingOutcome {
     pub reply: Option<PingReply>,
 }
 
+/// Sentinel for "no in-flight probe with this sequence number".
+const NOT_INFLIGHT: usize = usize::MAX;
+
 /// Looking-glass host state.
+///
+/// An LG probes hundreds of member interfaces, so the per-packet lookup
+/// structures are dense rather than hashed: the ARP cache and the
+/// awaiting-ARP queue are vectors kept sorted by address (binary
+/// search), and in-flight probes are a plain array indexed by the
+/// probe's sequence number (sequence numbers are issued sequentially).
 #[derive(Debug)]
 pub struct Host {
     iface: Option<(PortId, Ipv4Addr, MacAddr)>,
     icmp_id: u16,
     plans: Vec<(SimTime, Ipv4Addr, u8)>,
     outcomes: Vec<PingOutcome>,
-    arp_cache: HashMap<Ipv4Addr, MacAddr>,
-    /// Plan indices waiting for ARP resolution of their target.
-    awaiting_arp: HashMap<Ipv4Addr, Vec<usize>>,
-    /// In-flight echo requests: sequence number → plan index.
-    inflight: HashMap<u16, usize>,
+    /// Resolved neighbors, sorted by address.
+    arp_cache: Vec<(Ipv4Addr, MacAddr)>,
+    /// Plan indices waiting for ARP resolution of their target, sorted by
+    /// address; each list drains in registration order on resolution.
+    awaiting_arp: Vec<(Ipv4Addr, Vec<usize>)>,
+    /// In-flight echo requests: plan index per sequence number
+    /// ([`NOT_INFLIGHT`] marks free slots). Grows to the number of probes
+    /// actually sent.
+    inflight: Vec<usize>,
     next_seq: u16,
 }
 
@@ -79,10 +91,24 @@ impl Host {
             icmp_id,
             plans: Vec::new(),
             outcomes: Vec::new(),
-            arp_cache: HashMap::new(),
-            awaiting_arp: HashMap::new(),
-            inflight: HashMap::new(),
+            arp_cache: Vec::new(),
+            awaiting_arp: Vec::new(),
+            inflight: Vec::new(),
             next_seq: 0,
+        }
+    }
+
+    fn arp_lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.arp_cache
+            .binary_search_by_key(&ip, |&(k, _)| k)
+            .ok()
+            .map(|pos| self.arp_cache[pos].1)
+    }
+
+    fn arp_learn(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        match self.arp_cache.binary_search_by_key(&ip, |&(k, _)| k) {
+            Ok(pos) => self.arp_cache[pos].1 = mac,
+            Err(pos) => self.arp_cache.insert(pos, (ip, mac)),
         }
     }
 
@@ -137,16 +163,32 @@ impl Host {
         &self.outcomes
     }
 
+    /// Record `plan_idx` as in flight under the next sequence number.
+    fn track_inflight(&mut self, plan_idx: usize) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let slot = seq as usize;
+        if slot >= self.inflight.len() {
+            self.inflight.resize(slot + 1, NOT_INFLIGHT);
+        }
+        self.inflight[slot] = plan_idx;
+        seq
+    }
+
+    /// The plan index in flight under `seq`, clearing the slot.
+    fn untrack_inflight(&mut self, seq: u16) -> Option<usize> {
+        let slot = self.inflight.get_mut(seq as usize)?;
+        let plan_idx = std::mem::replace(slot, NOT_INFLIGHT);
+        (plan_idx != NOT_INFLIGHT).then_some(plan_idx)
+    }
+
     fn send_echo(&mut self, now: SimTime, plan_idx: usize, out: &mut Vec<Action>) {
         let (port, ip, mac) = self.iface.expect("host bound");
         let (_, target, probe_ttl) = self.plans[plan_idx];
-        let mac_target = match self.arp_cache.get(&target) {
-            Some(m) => *m,
-            None => return, // caller guarantees resolution; defensive
+        let Some(mac_target) = self.arp_lookup(target) else {
+            return; // caller guarantees resolution; defensive
         };
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.inflight.insert(seq, plan_idx);
+        let seq = self.track_inflight(plan_idx);
         self.outcomes[plan_idx].sent_at = Some(now);
         out.push(Action::send(
             port,
@@ -166,33 +208,51 @@ impl Host {
         ));
     }
 
-    /// Timer fired for plan `token`: send the probe, ARPing first if needed.
-    pub fn on_timer(&mut self, now: SimTime, token: u64) -> Vec<Action> {
-        let mut out = Vec::new();
+    /// Timer fired for plan `token`: send the probe, ARPing first if
+    /// needed. Actions are appended to `out`.
+    pub fn on_timer_into(&mut self, now: SimTime, token: u64, out: &mut Vec<Action>) {
         let plan_idx = token as usize;
         let Some(&(_, target, _)) = self.plans.get(plan_idx) else {
-            return out;
+            return;
         };
-        if self.arp_cache.contains_key(&target) {
-            self.send_echo(now, plan_idx, &mut out);
+        if self.arp_lookup(target).is_some() {
+            self.send_echo(now, plan_idx, out);
         } else {
             let (port, ip, mac) = self.iface.expect("host bound");
-            let first = !self.awaiting_arp.contains_key(&target);
-            self.awaiting_arp.entry(target).or_default().push(plan_idx);
+            let waiting = match self.awaiting_arp.binary_search_by_key(&target, |(k, _)| *k) {
+                Ok(pos) => &mut self.awaiting_arp[pos].1,
+                Err(pos) => {
+                    self.awaiting_arp.insert(pos, (target, Vec::new()));
+                    &mut self.awaiting_arp[pos].1
+                }
+            };
+            waiting.push(plan_idx);
             // Re-ARP on every new probe burst while unresolved, so a target
             // that was down earlier can still resolve later in the campaign.
-            if first || self.awaiting_arp[&target].len() % 8 == 1 {
+            if waiting.len() % 8 == 1 {
                 out.push(Action::send(port, Frame::arp_request(ip, mac, target)));
             }
         }
+    }
+
+    /// [`on_timer_into`](Self::on_timer_into), collecting into a fresh
+    /// vector.
+    pub fn on_timer(&mut self, now: SimTime, token: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_timer_into(now, token, &mut out);
         out
     }
 
-    /// Handle an incoming frame.
-    pub fn on_frame(&mut self, now: SimTime, _port: PortId, frame: Frame) -> Vec<Action> {
-        let mut out = Vec::new();
+    /// Handle an incoming frame, appending the resulting actions to `out`.
+    pub fn on_frame_into(
+        &mut self,
+        now: SimTime,
+        _port: PortId,
+        frame: Frame,
+        out: &mut Vec<Action>,
+    ) {
         let Some((port, ip, mac)) = self.iface else {
-            return out;
+            return;
         };
         match frame.payload {
             Payload::Arp(arp) => match arp.op {
@@ -200,24 +260,28 @@ impl Host {
                     if arp.target_ip == ip {
                         out.push(Action::send(port, Frame::arp_reply(&arp, ip, mac)));
                     }
-                    self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+                    self.arp_learn(arp.sender_ip, arp.sender_mac);
                 }
                 ArpOp::Reply => {
-                    self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
-                    if let Some(waiting) = self.awaiting_arp.remove(&arp.sender_ip) {
+                    self.arp_learn(arp.sender_ip, arp.sender_mac);
+                    if let Ok(pos) = self
+                        .awaiting_arp
+                        .binary_search_by_key(&arp.sender_ip, |(k, _)| *k)
+                    {
+                        let (_, waiting) = self.awaiting_arp.remove(pos);
                         for plan_idx in waiting {
-                            self.send_echo(now, plan_idx, &mut out);
+                            self.send_echo(now, plan_idx, out);
                         }
                     }
                 }
             },
             Payload::Ipv4(pkt) => {
                 if pkt.dst != ip {
-                    return out;
+                    return;
                 }
                 match pkt.payload {
                     IcmpMessage::EchoReply { id, seq } if id == self.icmp_id => {
-                        if let Some(plan_idx) = self.inflight.remove(&seq) {
+                        if let Some(plan_idx) = self.untrack_inflight(seq) {
                             let sent = self.outcomes[plan_idx]
                                 .sent_at
                                 .expect("in-flight implies sent");
@@ -230,7 +294,7 @@ impl Host {
                         }
                     }
                     IcmpMessage::TimeExceeded { id, seq, .. } if id == self.icmp_id => {
-                        if let Some(plan_idx) = self.inflight.remove(&seq) {
+                        if let Some(plan_idx) = self.untrack_inflight(seq) {
                             let sent = self.outcomes[plan_idx]
                                 .sent_at
                                 .expect("in-flight implies sent");
@@ -265,6 +329,13 @@ impl Host {
                 }
             }
         }
+    }
+
+    /// [`on_frame_into`](Self::on_frame_into), collecting into a fresh
+    /// vector.
+    pub fn on_frame(&mut self, now: SimTime, port: PortId, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_frame_into(now, port, frame, &mut out);
         out
     }
 }
@@ -349,7 +420,7 @@ mod tests {
         let (mut h, my_ip, my_mac) = bound_host();
         let target: Ipv4Addr = "10.0.0.9".parse().unwrap();
         let tok = h.register_plan(SimTime(0), target);
-        h.arp_cache.insert(target, MacAddr::from_index(9));
+        h.arp_learn(target, MacAddr::from_index(9));
         h.on_timer(SimTime(0), tok);
         let reply = Frame {
             src: MacAddr::from_index(9),

@@ -170,6 +170,32 @@ impl DelayModel {
     pub fn floor(&self) -> SimDuration {
         self.base + SimDuration::from_millis_f64(self.persistent_extra_ms)
     }
+
+    /// True when [`sample`](Self::sample) draws nothing from its RNG that
+    /// affects the result: no exponential or uniform jitter, and no
+    /// transient episode with a positive mean. Links with such models
+    /// skip RNG construction and per-frame sampling entirely — each link
+    /// owns an isolated random stream, so never touching it cannot shift
+    /// any other stream.
+    pub fn is_deterministic(&self) -> bool {
+        self.jitter_mean_ms <= 0.0
+            && self.jitter_uniform_ms <= 0.0
+            && self.episodes.iter().all(|e| e.extra_mean_ms <= 0.0)
+    }
+
+    /// [`sample`](Self::sample) for deterministic models (see
+    /// [`is_deterministic`](Self::is_deterministic)), computed without an
+    /// RNG. Bit-identical to what `sample` returns on such a model.
+    pub fn sample_deterministic(&self, now: SimTime) -> SimDuration {
+        debug_assert!(self.is_deterministic());
+        let mut extra_ms = self.persistent_extra_ms;
+        for e in &self.persistent_episodes {
+            if e.active_at(now) {
+                extra_ms += e.extra_mean_ms;
+            }
+        }
+        self.base + SimDuration::from_millis_f64(extra_ms)
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +282,31 @@ mod tests {
             assert!(d >= SimDuration::from_millis(1));
             assert!(d <= SimDuration::from_millis_f64(9.0));
         }
+    }
+
+    #[test]
+    fn deterministic_models_sample_without_an_rng() {
+        let windowed = CongestionEpisode {
+            start: SimTime(100),
+            end: SimTime(200),
+            extra_mean_ms: 6.0,
+        };
+        let det = DelayModel::ideal(SimDuration::from_millis(2))
+            .with_persistent_extra_ms(1.0)
+            .with_persistent_episode(windowed);
+        assert!(det.is_deterministic());
+        let mut r = rng();
+        for t in [SimTime(0), SimTime(150), SimTime(300)] {
+            assert_eq!(det.sample_deterministic(t), det.sample(t, &mut r));
+        }
+        // Any stochastic term disqualifies the fast path.
+        assert!(!DelayModel::with_one_way_ms(1.0).is_deterministic());
+        assert!(!DelayModel::ideal(SimDuration::ZERO)
+            .with_jitter_uniform_ms(1.0)
+            .is_deterministic());
+        assert!(!DelayModel::ideal(SimDuration::ZERO)
+            .with_episode(windowed)
+            .is_deterministic());
     }
 
     #[test]

@@ -22,7 +22,6 @@ use crate::sim::{Action, PortId};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rp_types::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// ICMP slow-path (control-plane policing) parameters.
@@ -106,17 +105,23 @@ struct RouteEntry {
 }
 
 /// Router state.
+///
+/// A router talks to a handful of layer-2 neighbors at most, so every
+/// per-packet lookup structure is a short vector scanned linearly —
+/// faster than hashing at these sizes, allocation-free on the hot path,
+/// and with deterministic iteration order by construction.
 #[derive(Debug)]
 pub struct Router {
     behavior: RouterBehavior,
     ifaces: Vec<Iface>,
     proxy_arp: Vec<(PortId, Ipv4Addr)>,
-    proxy_arp_all: HashSet<PortId>,
+    proxy_arp_all: Vec<PortId>,
     routes: Vec<RouteEntry>,
     /// ARP cache per (port, ip).
-    arp_cache: HashMap<(PortId, Ipv4Addr), MacAddr>,
-    /// Packets awaiting ARP resolution, keyed by (port, next-hop ip).
-    pending: HashMap<(PortId, Ipv4Addr), Vec<Ipv4Packet>>,
+    arp_cache: Vec<((PortId, Ipv4Addr), MacAddr)>,
+    /// Packets awaiting ARP resolution, keyed by (port, next-hop ip);
+    /// drained in arrival order when the reply comes back.
+    pending: Vec<((PortId, Ipv4Addr), Vec<Ipv4Packet>)>,
 }
 
 impl Router {
@@ -126,10 +131,10 @@ impl Router {
             behavior,
             ifaces: Vec::new(),
             proxy_arp: Vec::new(),
-            proxy_arp_all: HashSet::new(),
+            proxy_arp_all: Vec::new(),
             routes: Vec::new(),
-            arp_cache: HashMap::new(),
-            pending: HashMap::new(),
+            arp_cache: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -149,7 +154,9 @@ impl Router {
     /// Answer ARP for *any* address on `port` (gateway-for-everything on a
     /// point-to-point inner link).
     pub fn set_proxy_arp_all(&mut self, port: PortId) {
-        self.proxy_arp_all.insert(port);
+        if !self.proxy_arp_all.contains(&port) {
+            self.proxy_arp_all.push(port);
+        }
     }
 
     /// Install an exact-destination route out of `port`.
@@ -207,6 +214,20 @@ impl Router {
         SimDuration::from_micros(us)
     }
 
+    fn arp_lookup(&self, key: (PortId, Ipv4Addr)) -> Option<MacAddr> {
+        self.arp_cache
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, mac)| mac)
+    }
+
+    fn arp_learn(&mut self, key: (PortId, Ipv4Addr), mac: MacAddr) {
+        match self.arp_cache.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = mac,
+            None => self.arp_cache.push((key, mac)),
+        }
+    }
+
     /// Emit `pkt` out of `port`, resolving the next-hop MAC (the packet's
     /// destination address — our routes are host routes on point-to-point
     /// segments) via ARP when needed.
@@ -214,8 +235,9 @@ impl Router {
         let Some(iface) = self.iface_on(port) else {
             return; // unconfigured port: drop
         };
-        match self.arp_cache.get(&(port, pkt.dst)) {
-            Some(&mac) => out.push(Action::send(
+        let key = (port, pkt.dst);
+        match self.arp_lookup(key) {
+            Some(mac) => out.push(Action::send(
                 port,
                 Frame {
                     src: iface.mac,
@@ -224,27 +246,32 @@ impl Router {
                 },
             )),
             None => {
-                let first = !self.pending.contains_key(&(port, pkt.dst));
-                self.pending.entry((port, pkt.dst)).or_default().push(pkt);
-                if first {
-                    out.push(Action::send(
-                        port,
-                        Frame::arp_request(iface.ip, iface.mac, pkt.dst),
-                    ));
+                match self.pending.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, queued)) => queued.push(pkt),
+                    None => {
+                        // First packet toward this next hop: queue it and
+                        // ask who holds the address.
+                        self.pending.push((key, vec![pkt]));
+                        out.push(Action::send(
+                            port,
+                            Frame::arp_request(iface.ip, iface.mac, pkt.dst),
+                        ));
+                    }
                 }
             }
         }
     }
 
-    /// Handle a frame arriving on `port` at `now`.
-    pub fn on_frame(
+    /// Handle a frame arriving on `port` at `now`, appending the
+    /// resulting actions to `out`.
+    pub fn on_frame_into(
         &mut self,
         now: SimTime,
         port: PortId,
         frame: Frame,
         rng: &mut StdRng,
-    ) -> Vec<Action> {
-        let mut out = Vec::new();
+        out: &mut Vec<Action>,
+    ) {
         match frame.payload {
             Payload::Arp(arp) => match arp.op {
                 ArpOp::Request => {
@@ -265,13 +292,15 @@ impl Router {
                         }
                     }
                     // Routers also gratuitously learn the requester.
-                    self.arp_cache.insert((port, arp.sender_ip), arp.sender_mac);
+                    self.arp_learn((port, arp.sender_ip), arp.sender_mac);
                 }
                 ArpOp::Reply => {
-                    self.arp_cache.insert((port, arp.sender_ip), arp.sender_mac);
-                    if let Some(queued) = self.pending.remove(&(port, arp.sender_ip)) {
+                    self.arp_learn((port, arp.sender_ip), arp.sender_mac);
+                    let key = (port, arp.sender_ip);
+                    if let Some(pos) = self.pending.iter().position(|(k, _)| *k == key) {
+                        let (_, queued) = self.pending.swap_remove(pos);
                         for pkt in queued {
-                            self.emit(port, pkt, &mut out);
+                            self.emit(port, pkt, out);
                         }
                     }
                 }
@@ -312,7 +341,7 @@ impl Router {
                     if pkt.ttl > 1 {
                         let mut fwd = pkt;
                         fwd.ttl -= 1;
-                        self.emit(out_port, fwd, &mut out);
+                        self.emit(out_port, fwd, out);
                     } else if let IcmpMessage::EchoRequest { id, seq } = pkt.payload {
                         if let Some(iface) = self.iface_on(port) {
                             let exceeded = Ipv4Packet {
@@ -340,6 +369,19 @@ impl Router {
                 // No route: drop silently.
             }
         }
+    }
+
+    /// [`on_frame_into`](Self::on_frame_into), collecting into a fresh
+    /// vector.
+    pub fn on_frame(
+        &mut self,
+        now: SimTime,
+        port: PortId,
+        frame: Frame,
+        rng: &mut StdRng,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_frame_into(now, port, frame, rng, &mut out);
         out
     }
 }

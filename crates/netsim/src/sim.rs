@@ -7,12 +7,13 @@
 
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultCounts, FaultEvent, FaultInjector, TxFaults, DUPLICATE_GAP};
-use crate::frame::{Frame, MacAddr};
+use crate::frame::{Frame, FrameArena, MacAddr, Payload};
 use crate::host::Host;
 use crate::link::DelayModel;
 use crate::router::{Router, RouterBehavior};
 use crate::switch::Switch;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rp_types::{seed, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -110,7 +111,11 @@ struct Node {
 #[derive(Debug)]
 struct Link {
     delay: DelayModel,
-    rng: StdRng,
+    /// Per-link jitter stream; `None` for fully deterministic delay
+    /// models, which skip RNG construction and per-frame sampling. Each
+    /// link's stream is isolated, so the skip cannot shift any other
+    /// stream's draws.
+    rng: Option<StdRng>,
     /// Per-direction transmit-queue horizon: the instant each direction's
     /// line becomes idle (finite-bandwidth links only).
     busy_until: [SimTime; 2],
@@ -137,8 +142,44 @@ pub struct Network {
     obs_active: bool,
     obs_flushed_events: u64,
     obs_flushed_drops: u64,
+    /// Running FNV-1a digest of the first [`TRACE_DIGEST_EVENTS`] dispatched
+    /// events, folding `(time, node, kind)` per event. Pins the exact event
+    /// trace across scheduler/pool refactors; cost is a few ALU ops per
+    /// event, so it is always on.
+    trace_digest: u64,
+    /// Slab of in-flight frames: events carry 4-byte [`crate::frame::FrameId`]s
+    /// instead of frame copies; slots are freed the moment a frame is
+    /// delivered, so the arena stays as small as the peak in-flight count.
+    frames: FrameArena,
+    /// Precomputed `(seed, "router-frame")` key: the per-event router RNG
+    /// is derived once per frame, so the domain-label hash is hoisted out
+    /// of the hot loop.
+    router_key: seed::DomainKey,
+    /// Stand-in generator passed to routers for ARP frames, whose handling
+    /// never draws — ARP floods hit every member on a fabric, so skipping
+    /// the per-event seeding there is a measurable win. Debug builds
+    /// assert after every use that it was in fact never advanced.
+    arp_rng: StdRng,
+    /// Scratch buffer device handlers write their actions into; reused
+    /// across every dispatch so the hot loop never allocates.
+    scratch: Vec<Action>,
     /// Optional fault injection consulted on every frame transmission.
     faults: Option<FaultInjector>,
+}
+
+/// How many leading events the trace digest covers.
+pub const TRACE_DIGEST_EVENTS: u64 = 10_000;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl Network {
@@ -158,6 +199,11 @@ impl Network {
             obs_active: false,
             obs_flushed_events: 0,
             obs_flushed_drops: 0,
+            trace_digest: FNV_OFFSET,
+            frames: FrameArena::new(),
+            router_key: seed::domain_key(seed, "router-frame"),
+            arp_rng: StdRng::seed_from_u64(0),
+            scratch: Vec::new(),
             faults: None,
         }
     }
@@ -217,7 +263,11 @@ impl Network {
     /// side. Delay is sampled independently per traversal direction.
     pub fn connect(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> (PortId, PortId) {
         let link_idx = self.links.len() as u32;
-        let rng = seed::rng(self.seed, "link", link_idx as u64);
+        let rng = if delay.is_deterministic() {
+            None
+        } else {
+            Some(seed::rng(self.seed, "link", link_idx as u64))
+        };
         self.links.push(Link {
             delay,
             rng,
@@ -316,6 +366,15 @@ impl Network {
         self.queue_depth_hwm
     }
 
+    /// FNV-1a digest over `(time, node, kind)` of the first
+    /// [`TRACE_DIGEST_EVENTS`] dispatched events. Two runs that dispatch
+    /// the same events in the same order — the bit-reproducibility
+    /// contract — report the same digest regardless of how the event queue
+    /// or frame storage is implemented.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace_digest
+    }
+
     /// Push the run's event/drop deltas and queue-depth high-water mark to
     /// the process-wide metrics registry.
     fn flush_obs(&mut self) {
@@ -360,36 +419,61 @@ impl Network {
 
     fn dispatch(&mut self, event: Event) {
         self.events_processed += 1;
-        let (node_id, actions) = match event {
+        if self.events_processed <= TRACE_DIGEST_EVENTS {
+            let (node, kind) = match &event {
+                Event::FrameArrival { node, .. } => (node.0, 0u64),
+                Event::Timer { node, .. } => (node.0, 1u64),
+            };
+            let h = fnv1a_u64(self.trace_digest, self.now.nanos());
+            let h = fnv1a_u64(h, u64::from(node));
+            self.trace_digest = fnv1a_u64(h, kind);
+        }
+        let mut actions = std::mem::take(&mut self.scratch);
+        let node_id = match event {
             Event::FrameArrival { node, port, frame } => {
+                // Copy the frame out of the arena and release its slot
+                // immediately: delivery ends the in-flight lifetime.
+                let frame = self.frames.take(frame);
                 let n_ports = self.nodes[node.index()].ports.len() as u16;
                 let now = self.now;
-                let node_ref = &mut self.nodes[node.index()];
-                let actions = match &mut node_ref.device {
-                    Device::Switch(sw) => sw.on_frame(port, n_ports, frame),
+                match &mut self.nodes[node.index()].device {
+                    Device::Switch(sw) => sw.on_frame_into(port, n_ports, frame, &mut actions),
                     Device::Router(r) => {
-                        let mut rng = seed::rng(self.seed, "router-frame", {
-                            // Derive a per-event RNG from (node, event count)
-                            // so device behavior stays deterministic and
-                            // independent of unrelated devices.
-                            (node.0 as u64) << 40 | self.events_processed
-                        });
-                        r.on_frame(now, port, frame, &mut rng)
+                        if matches!(frame.payload, Payload::Arp(_)) {
+                            // The ARP arms never draw, so the per-event
+                            // stream need not be derived at all: an
+                            // untouched generator leaves no trace.
+                            r.on_frame_into(now, port, frame, &mut self.arp_rng, &mut actions);
+                            debug_assert_eq!(
+                                self.arp_rng,
+                                StdRng::seed_from_u64(0),
+                                "router ARP handling drew from its RNG; \
+                                 the ARP fast path is no longer sound"
+                            );
+                        } else {
+                            // Derive a per-event RNG from (node, event
+                            // count) so device behavior stays deterministic
+                            // and independent of unrelated devices.
+                            let mut rng = seed::rng_from_key(
+                                self.router_key,
+                                (node.0 as u64) << 40 | self.events_processed,
+                            );
+                            r.on_frame_into(now, port, frame, &mut rng, &mut actions);
+                        }
                     }
-                    Device::Host(h) => h.on_frame(now, port, frame),
-                };
-                (node, actions)
+                    Device::Host(h) => h.on_frame_into(now, port, frame, &mut actions),
+                }
+                node
             }
             Event::Timer { node, token } => {
                 let now = self.now;
-                let actions = match &mut self.nodes[node.index()].device {
-                    Device::Host(h) => h.on_timer(now, token),
-                    _ => Vec::new(),
-                };
-                (node, actions)
+                if let Device::Host(h) = &mut self.nodes[node.index()].device {
+                    h.on_timer_into(now, token, &mut actions);
+                }
+                node
             }
         };
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send {
                     port,
@@ -416,11 +500,13 @@ impl Network {
                     let tx_time = link.delay.serialization(frame.wire_size());
                     let dir = att.dir as usize;
                     let start = ready.max(link.busy_until[dir]);
-                    if self.obs_active {
+                    if self.obs_active && (self.events_processed & 63) == 0 {
                         // Queue depth behind this frame, in frames: backlog
                         // wait divided by one serialization time, plus the
-                        // frame itself. Pure read — never feeds back into
-                        // the simulation.
+                        // frame itself. Sampled on power-of-two event
+                        // counts so the gauge costs nothing in steady
+                        // state. Pure read — never feeds back into the
+                        // simulation.
                         let tx_ns = tx_time.nanos();
                         if tx_ns > 0 && start > ready {
                             let depth = (start.nanos() - ready.nanos()) / tx_ns + 1;
@@ -429,7 +515,10 @@ impl Network {
                     }
                     let tx_done = start + tx_time;
                     link.busy_until[dir] = tx_done;
-                    let delay = link.delay.sample(start, &mut link.rng);
+                    let delay = match link.rng.as_mut() {
+                        Some(rng) => link.delay.sample(start, rng),
+                        None => link.delay.sample_deterministic(start),
+                    };
                     let arrival = tx_done + delay + fx.extra_delay;
                     if fx.duplicate {
                         self.queue.push(
@@ -437,7 +526,7 @@ impl Network {
                             Event::FrameArrival {
                                 node: att.far_node,
                                 port: att.far_port,
-                                frame,
+                                frame: self.frames.alloc(frame),
                             },
                         );
                     }
@@ -446,7 +535,7 @@ impl Network {
                         Event::FrameArrival {
                             node: att.far_node,
                             port: att.far_port,
-                            frame,
+                            frame: self.frames.alloc(frame),
                         },
                     );
                 }
@@ -461,6 +550,7 @@ impl Network {
                 }
             }
         }
+        self.scratch = actions;
     }
 }
 

@@ -6,14 +6,26 @@
 //! one arrives with its TTL intact — indistinguishable on layer 3 from a
 //! local hop. That invisibility is the phenomenon under study.
 
-use crate::frame::Frame;
+use crate::frame::{Frame, MacAddr};
 use crate::sim::{Action, PortId};
-use std::collections::HashMap;
+
+/// Sentinel for "no port learned yet" in the dense table.
+const UNLEARNED: u16 = u16::MAX;
 
 /// MAC-learning switch state.
+///
+/// The simulator allocates MACs sequentially ([`MacAddr::from_index`]),
+/// so the learned-port table is a dense array indexed by the MAC's
+/// allocation index — one bounds-checked load per lookup instead of a
+/// hash — with a tiny linear-scan side table for addresses outside the
+/// allocator's namespace (hand-built test frames).
 #[derive(Debug, Default)]
 pub struct Switch {
-    table: HashMap<crate::frame::MacAddr, PortId>,
+    /// Learned egress port per MAC allocation index; [`UNLEARNED`] marks
+    /// empty slots. Grows on demand to the highest index seen.
+    by_index: Vec<u16>,
+    /// Learned entries for non-allocator addresses.
+    other: Vec<(MacAddr, PortId)>,
 }
 
 impl Switch {
@@ -22,32 +34,72 @@ impl Switch {
         Self::default()
     }
 
+    fn learn(&mut self, mac: MacAddr, port: PortId) {
+        match mac.as_index() {
+            Some(idx) => {
+                let idx = idx as usize;
+                if idx >= self.by_index.len() {
+                    self.by_index.resize(idx + 1, UNLEARNED);
+                }
+                self.by_index[idx] = port.0;
+            }
+            None => match self.other.iter_mut().find(|(m, _)| *m == mac) {
+                Some(entry) => entry.1 = port,
+                None => self.other.push((mac, port)),
+            },
+        }
+    }
+
+    fn lookup(&self, mac: MacAddr) -> Option<PortId> {
+        match mac.as_index() {
+            Some(idx) => match self.by_index.get(idx as usize) {
+                Some(&p) if p != UNLEARNED => Some(PortId(p)),
+                _ => None,
+            },
+            None => self.other.iter().find(|(m, _)| *m == mac).map(|&(_, p)| p),
+        }
+    }
+
     /// Handle a frame arriving on `in_port` of a switch with `n_ports`
     /// ports: learn the source, then forward (unicast if known, flood
     /// otherwise). Frames are forwarded unmodified — no TTL decrement, no
-    /// address rewrite.
-    pub fn on_frame(&mut self, in_port: PortId, n_ports: u16, frame: Frame) -> Vec<Action> {
-        self.table.insert(frame.src, in_port);
-        match self.table.get(&frame.dst) {
-            Some(&out) if !frame.dst.is_broadcast() => {
-                if out == in_port {
-                    // Destination lives where the frame came from; drop.
-                    Vec::new()
-                } else {
-                    vec![Action::send(out, frame)]
+    /// address rewrite. Actions are appended to `out`.
+    pub fn on_frame_into(
+        &mut self,
+        in_port: PortId,
+        n_ports: u16,
+        frame: Frame,
+        out: &mut Vec<Action>,
+    ) {
+        self.learn(frame.src, in_port);
+        match self.lookup(frame.dst) {
+            Some(port) if !frame.dst.is_broadcast() => {
+                // A hairpin (destination lives where the frame came from)
+                // is dropped.
+                if port != in_port {
+                    out.push(Action::send(port, frame));
                 }
             }
-            _ => (0..n_ports)
-                .map(PortId)
-                .filter(|p| *p != in_port)
-                .map(|p| Action::send(p, frame))
-                .collect(),
+            _ => out.extend(
+                (0..n_ports)
+                    .map(PortId)
+                    .filter(|p| *p != in_port)
+                    .map(|p| Action::send(p, frame)),
+            ),
         }
+    }
+
+    /// [`on_frame_into`](Self::on_frame_into), collecting into a fresh
+    /// vector.
+    pub fn on_frame(&mut self, in_port: PortId, n_ports: u16, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_frame_into(in_port, n_ports, frame, &mut out);
+        out
     }
 
     /// Number of learned MAC entries (diagnostics).
     pub fn learned(&self) -> usize {
-        self.table.len()
+        self.by_index.iter().filter(|&&p| p != UNLEARNED).count() + self.other.len()
     }
 }
 
@@ -109,6 +161,20 @@ mod tests {
         sw.on_frame(PortId(1), 4, frame(1, MacAddr::BROADCAST));
         let acts = sw.on_frame(PortId(1), 4, frame(2, MacAddr::from_index(1)));
         assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn learns_addresses_outside_the_allocator_namespace() {
+        // A hand-built MAC (not from_index-decodable) must still be
+        // learned and unicast to, via the side table.
+        let mut sw = Switch::new();
+        let foreign = MacAddr([0xAA, 1, 2, 3, 4, 5]);
+        let mut f = frame(1, MacAddr::BROADCAST);
+        f.src = foreign;
+        sw.on_frame(PortId(2), 4, f);
+        let acts = sw.on_frame(PortId(0), 4, frame(1, foreign));
+        assert_eq!(out_ports(&acts), vec![2]);
+        assert_eq!(sw.learned(), 2);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::spec::{Cell, ScenarioSpec};
 use rayon::prelude::*;
 use remote_peering::campaign::Campaign;
 use remote_peering::metrics::{PreparedRun, RunMetrics};
-use remote_peering::world::{World, WorldConfig};
+use remote_peering::world::WorldConfig;
 use rp_types::seed;
 use rp_types::stats::{paired_deltas, t_interval, Accumulator};
 use serde_json::{json, Value};
@@ -102,7 +102,10 @@ pub fn run_sweep(spec: &ScenarioSpec, cfg: &SweepConfig) -> Value {
                 WorldConfig::test_scale(rep_seed)
             };
             let world_cfg = cells[members[0]].apply_world(&base);
-            let run = PreparedRun::probe(World::build(&world_cfg), &Campaign::default_paper());
+            // Memoized build + probe: tasks that revisit a (config,
+            // campaign) pair — e.g. the baseline group across presets run
+            // in one process — share the expensive work.
+            let run = PreparedRun::probe_cached(&world_cfg, &Campaign::default_paper());
             let out: Vec<(usize, u64, RunMetrics)> = members
                 .iter()
                 .map(|&ci| (ci, r, RunMetrics::collect(&run, &cells[ci].method_params())))

@@ -214,6 +214,10 @@ fn offload_invariant(h: &mut Harness, world: &mut World) {
             .collect()
     };
     let before = potentials(world);
+    // The push/pop below is restored before returning, but the world
+    // transiently diverges from its config — retire its memo key so no
+    // probe memoization can alias the intermediate state.
+    world.mark_mutated();
     let idx = target.index();
     let slot = world.scene.ixps[idx].members.len() as u32;
     world.scene.ixps[idx].members.push(MemberInterface {
@@ -254,7 +258,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
     // Clean arm.
     let clean_world = {
         let _sp = rp_obs::span("testkit.check.clean");
-        World::build(&world_cfg)
+        World::build_cached(&world_cfg)
     };
     let clean = attach_entries(
         &clean_world,
@@ -267,7 +271,10 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
         seed::derive(cfg.seed, "testkit-plan", 0),
         clean_world.campaign_duration(),
     );
-    let mut faulted_world = World::build(&world_cfg);
+    // Clone the memoized clean build instead of rebuilding from scratch;
+    // degrade_scene marks the copy mutated so it can never alias the
+    // pristine world in the probe memo.
+    let mut faulted_world = (*clean_world).clone();
     let scene = plan.degrade_scene(&mut faulted_world);
     let campaign = plan.campaign();
     let results: Vec<((IxpId, Vec<InterfaceSamples>), FaultCounts)> = {

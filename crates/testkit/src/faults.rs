@@ -101,6 +101,10 @@ impl FaultPlan {
     /// `seed::rng2(link.seed, "scene-fault", ixp, member)`, so the same
     /// plan degrades the same world identically every time.
     pub fn degrade_scene(&self, world: &mut World) -> SceneFaults {
+        // Even a quiet plan counts as a mutation: the world may no longer
+        // match its config, so it must never alias the pristine build in
+        // the probe memo.
+        world.mark_mutated();
         let mut out = SceneFaults::default();
         for inst in &mut world.scene.ixps {
             let ixp = inst.id.0 as u64;

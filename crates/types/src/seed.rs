@@ -47,6 +47,31 @@ pub fn rng(master: u64, domain: &str, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive(master, domain, index))
 }
 
+/// The `(master, domain)` half of [`derive()`], precomputed. Hot loops that
+/// derive one child seed *per event* from a fixed domain (the simulator's
+/// per-frame router streams) hash the domain label once and reuse the key,
+/// instead of re-running FNV-1a over the label on every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainKey(u64);
+
+/// Precompute the per-domain key for [`derive_from_key`]. For every
+/// `index`, `derive_from_key(domain_key(m, d), index) == derive(m, d, index)`.
+pub fn domain_key(master: u64, domain: &str) -> DomainKey {
+    DomainKey(splitmix64(master ^ fnv1a(domain)))
+}
+
+/// [`derive()`] with the `(master, domain)` half precomputed.
+#[inline]
+pub fn derive_from_key(key: DomainKey, index: u64) -> u64 {
+    splitmix64(key.0.wrapping_add(splitmix64(index)))
+}
+
+/// A seeded [`StdRng`] for a precomputed domain key and `index`.
+#[inline]
+pub fn rng_from_key(key: DomainKey, index: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_from_key(key, index))
+}
+
 /// Derive a child seed from `(master, domain, index, subindex)`.
 ///
 /// For per-task streams addressed by two coordinates (IXP × member slot,

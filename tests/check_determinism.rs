@@ -27,6 +27,24 @@ fn run_check(out: &Path, threads: &str) -> Output {
         .expect("spawn repro check")
 }
 
+/// Golden FNV-1a digests of the seed-42 check run's outputs, captured on
+/// the original `BinaryHeap` scheduler with clone-per-hop frames. The
+/// determinism contract is stronger than thread-count invariance: the
+/// *bytes themselves* must survive every event-queue, frame-pool, and
+/// world-memo rework, so the expected digests are pinned rather than only
+/// compared across runs.
+const GOLDEN_CHECK_REPORT_FNV: u64 = 0xc37d_2fc6_faac_5fba;
+const GOLDEN_CHECK_STDOUT_FNV: u64 = 0x9f76_8bcc_4862_76c5;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 #[test]
 fn check_is_bit_identical_across_thread_counts() {
     let serial_out = temp_dir("serial");
@@ -62,6 +80,22 @@ fn check_is_bit_identical_across_thread_counts() {
     let b = std::fs::read(parallel_out.join("check_report.json")).expect("parallel report");
     assert!(!a.is_empty());
     assert_eq!(a, b, "check_report.json differs between thread counts");
+
+    // Golden byte digests: the report and summary must be byte-identical
+    // to the pre-refactor capture, at both thread counts.
+    assert_eq!(
+        fnv1a(&a),
+        GOLDEN_CHECK_REPORT_FNV,
+        "check_report.json bytes diverged from the golden capture \
+         (got 0x{:016x})",
+        fnv1a(&a)
+    );
+    assert_eq!(
+        fnv1a(&serial.stdout),
+        GOLDEN_CHECK_STDOUT_FNV,
+        "check stdout bytes diverged from the golden capture (got 0x{:016x})",
+        fnv1a(&serial.stdout)
+    );
 
     let _ = std::fs::remove_dir_all(&serial_out);
     let _ = std::fs::remove_dir_all(&parallel_out);

@@ -7,12 +7,69 @@
 //! so both the degenerate single-worker path and the genuinely concurrent
 //! path are exercised against the same assertions.
 
+use rayon::prelude::*;
 use remote_peering::campaign::Campaign;
 use remote_peering::offload::{GreedyMetric, OffloadStudy, PeerGroup};
 use remote_peering::world::{World, WorldConfig};
 use rp_types::IxpId;
 
 const SEEDS: [u64; 3] = [7, 42, 20140101];
+
+/// Golden fold of the per-IXP event-trace digests for the seed-42
+/// test-scale campaign, captured on the original `BinaryHeap` scheduler
+/// with clone-per-hop frames. `Network::trace_digest` hashes `(time,
+/// node, kind)` of each run's first 10k events, so this constant pins the
+/// exact dispatch order of every studied IXP's campaign: any event-queue,
+/// frame-pool, or lookup-structure rework must reproduce it bit for bit.
+const GOLDEN_TRACE_FOLD_SEED_42: u64 = 0x854b_e0ca_2e7f_0fcb;
+
+/// Total events dispatched across all studied IXPs for the same campaign
+/// (a cheap second invariant: a scheduler that reorders but never loses
+/// events still has to dispatch exactly as many).
+const GOLDEN_TRACE_EVENTS_SEED_42: u64 = 1_085_933;
+
+fn fnv1a_fold(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn golden_event_trace_digest_survives_scheduler_and_pool_swap() {
+    // Runs under the CI thread matrix (RAYON_NUM_THREADS=1 and unset), so
+    // the golden constants are asserted at one worker and at the host's
+    // full width; `tests/check_determinism.rs` additionally pins the
+    // binary-driven `--threads 1` vs `--threads 4` byte identity.
+    let world = World::build(&WorldConfig::test_scale(42));
+    let campaign = Campaign::default_paper();
+    let serial: Vec<(u64, u64)> = world
+        .studied_ixps()
+        .iter()
+        .map(|&ixp| campaign.probe_ixp_trace(&world, ixp))
+        .collect();
+    let parallel: Vec<(u64, u64)> = world
+        .studied_ixps()
+        .par_iter()
+        .map(|&ixp| campaign.probe_ixp_trace(&world, ixp))
+        .collect();
+    assert_eq!(serial, parallel, "trace digests depend on scheduling");
+
+    let fold = serial
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325_u64, |h, &(d, _)| fnv1a_fold(h, d));
+    let events: u64 = serial.iter().map(|&(_, n)| n).sum();
+    assert_eq!(
+        fold, GOLDEN_TRACE_FOLD_SEED_42,
+        "event-trace digest diverged from the golden capture \
+         (fold=0x{fold:016x}, events={events})"
+    );
+    assert_eq!(
+        events, GOLDEN_TRACE_EVENTS_SEED_42,
+        "total dispatched events diverged (events={events})"
+    );
+}
 
 #[test]
 fn parallel_probe_all_matches_serial_across_seeds() {
