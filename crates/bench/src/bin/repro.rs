@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--seed N] [--scale test|paper] [--out DIR]
-//!       [--threads N] [--report [PATH]] [--trace]
+//!       [--threads N] [--shards N] [--report [PATH]] [--trace]
 //! repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]
 //! repro check [--faults N] [--fuzz N] [other flags]
 //! ```
@@ -83,10 +83,15 @@ struct Args {
     faults: Option<u64>,
     /// `--fuzz` iteration count for `check` (default 500).
     fuzz: Option<u64>,
-    /// `--json` output path for `bench` (default `BENCH_5.json`).
+    /// `--json` output path for `bench` (default `BENCH_6.json`).
     json_out: Option<PathBuf>,
     /// `--quick` single-repetition smoke mode for `bench` (CI).
     quick: bool,
+    /// `--shards` data-plane shards per simulated IXP network; 0 resolves
+    /// to one shard per fabric site, capped at the available cores.
+    /// Results are bit-identical at every value — like `--threads`, this
+    /// only trades wall-clock time.
+    shards: usize,
 }
 
 fn usage_text() -> String {
@@ -110,10 +115,12 @@ fn usage_text() -> String {
          \x20 --scale S         world scale: test | paper (default paper)\n\
          \x20 --out DIR         JSON output directory (default results/)\n\
          \x20 --threads N       worker threads, 0 = automatic (default 0)\n\
+         \x20 --shards N        data-plane shards per IXP network,\n\
+         \x20                   0 = one per fabric site, capped at cores (default 0)\n\
          \x20 --replicates N    sweep replicate seeds per cell (default: the spec's)\n\
          \x20 --faults N        check: perturbation trials (default 200)\n\
          \x20 --fuzz N          check: fuzzer iterations per target (default 500)\n\
-         \x20 --json PATH       bench: result file (default BENCH_5.json)\n\
+         \x20 --json PATH       bench: result file (default BENCH_6.json)\n\
          \x20 --quick           bench: single repetition (CI smoke run)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
@@ -143,6 +150,7 @@ fn parse_args() -> Args {
         fuzz: None,
         json_out: None,
         quick: false,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -167,6 +175,11 @@ fn parse_args() -> Args {
             "--threads" => {
                 args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     bad_usage("--threads requires a numeric count (0 = automatic)")
+                })
+            }
+            "--shards" => {
+                args.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    bad_usage("--shards requires a numeric count (0 = one per fabric site)")
                 })
             }
             "--report" => {
@@ -277,6 +290,15 @@ fn emit(out_dir: &Path, span: &'static str, f: impl FnOnce() -> ExperimentOutput
     );
 }
 
+/// The campaign every subcommand runs: the paper defaults with the
+/// `--shards` override applied (0 keeps the per-site default).
+fn campaign_for(args: &Args) -> Campaign {
+    Campaign {
+        shards: args.shards,
+        ..Campaign::default_paper()
+    }
+}
+
 /// Everything the experiments produced that the run report summarizes.
 struct RunArtifacts {
     world: World,
@@ -309,7 +331,7 @@ fn run_experiments(args: &Args) -> RunArtifacts {
         t0.elapsed()
     );
 
-    let campaign = Campaign::default_paper();
+    let campaign = campaign_for(args);
     let wants = |ids: &[&str]| ids.contains(&args.experiment.as_str()) || args.experiment == "all";
 
     // Detection-side experiments share one probing run.
@@ -534,12 +556,12 @@ impl BenchRow {
 }
 
 /// The `bench` subcommand: a fixed suite of data-plane benchmarks whose
-/// JSON output keeps the same keys from run to run (`BENCH_5.json` in CI
+/// JSON output keeps the same keys from run to run (`BENCH_6.json` in CI
 /// artifacts and at the repository root). `--quick` drops to a single
-/// repetition so CI can smoke-run the suite without paying for stable
-/// numbers.
+/// repetition and a smaller sharded world so CI can smoke-run the suite
+/// without paying for stable numbers.
 fn run_bench_command(args: &Args) {
-    use rp_netsim::event::{Event, EventQueue};
+    use rp_netsim::event::{Event, EventKey, EventQueue};
     use rp_netsim::NodeId;
     use rp_types::SimTime;
 
@@ -569,7 +591,7 @@ fn run_bench_command(args: &Args) {
     });
 
     let world = World::build(&cfg);
-    let campaign = Campaign::default_paper();
+    let campaign = campaign_for(args);
     let ixps = world.studied_ixps();
 
     // One full campaign pass counts the events and warms the allocator.
@@ -619,7 +641,11 @@ fn run_bench_command(args: &Args) {
     let t = Instant::now();
     let mut q = EventQueue::new();
     for i in 0..n {
-        q.push(SimTime(i * 1_000_000), timer(i as u32));
+        q.push(
+            SimTime(i * 1_000_000),
+            EventKey { creator: 0, seq: i },
+            timer(i as u32),
+        );
         if i % 4 == 3 {
             for _ in 0..4 {
                 std::hint::black_box(q.pop());
@@ -639,7 +665,7 @@ fn run_bench_command(args: &Args) {
     for r in 0..rounds {
         let at = SimTime(r * 50_000_000);
         for i in 0..200u32 {
-            q.push(at, timer(i));
+            q.push(at, EventKey { creator: i, seq: r }, timer(i));
         }
         while q.pop().is_some() {}
     }
@@ -649,6 +675,55 @@ fn run_bench_command(args: &Args) {
         ns_per_op: t.elapsed().as_nanos() as f64 / (rounds * 200) as f64,
         events_per_op: 1.0,
     });
+
+    // Sharded-world benchmark: one big multi-fabric world — the
+    // `world_scale` topology knob times the membership scale gives ~10×
+    // the members of the base world — probed once pinned to a single
+    // shard and once at the sharded default, so the JSON shows what the
+    // epoch-barrier data plane buys on a world large enough to need it.
+    // Single repetition: this section measures the shard layout's effect,
+    // not run-to-run noise.
+    let wscale = if args.quick { 2.0 } else { 10.0 };
+    let mut big_cfg = WorldConfig::test_scale(args.seed);
+    big_cfg.topology.world_scale = wscale;
+    big_cfg.scene.scale *= wscale;
+    eprintln!("bench: building sharded-world topology ({wscale}x members)...");
+    let t = Instant::now();
+    let big = World::build(&big_cfg);
+    rows.push(BenchRow {
+        name: "sharded_world_build",
+        ops: 1,
+        ns_per_op: t.elapsed().as_nanos() as f64,
+        events_per_op: 0.0,
+    });
+    let big_ixps = big.studied_ixps();
+    let mut big_events = 0u64;
+    for (name, shards) in [
+        ("sharded_world_1shard", 1),
+        ("sharded_world_sharded", args.shards),
+    ] {
+        let campaign = Campaign {
+            shards,
+            ..Campaign::default_paper()
+        };
+        let t = Instant::now();
+        let n: u64 = big_ixps
+            .iter()
+            .map(|&ixp| campaign.probe_ixp_trace(&big, ixp).1)
+            .sum();
+        let ns = t.elapsed().as_nanos() as f64;
+        if big_events == 0 {
+            big_events = n;
+        } else {
+            assert_eq!(n, big_events, "shard count changed the event count");
+        }
+        rows.push(BenchRow {
+            name,
+            ops: 1,
+            ns_per_op: ns,
+            events_per_op: n as f64,
+        });
+    }
 
     println!("==== bench {}", "=".repeat(55));
     println!(
@@ -683,13 +758,19 @@ fn run_bench_command(args: &Args) {
         "scale": args.scale,
         "quick": args.quick,
         "threads": rayon::current_num_threads(),
+        "shards": args.shards,
         "total_events_per_campaign": events,
+        "sharded_world": {
+            "world_scale": wscale,
+            "interfaces": big.scene.total_interfaces(),
+            "events_per_campaign": big_events,
+        },
         "benches": bench_values,
     });
     let path = args
         .json_out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_5.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"));
     write_output(
         &path,
         &serde_json::to_string_pretty(&out).expect("serialize bench output"),
@@ -710,6 +791,7 @@ fn run_sweep_command(args: &Args, spec_arg: &str) {
         replicates: args.replicates.unwrap_or(spec.default_replicates),
         confidence: 0.95,
         resamples: 400,
+        shards: args.shards,
     };
     let cells = spec.cells();
     let t0 = Instant::now();
@@ -783,6 +865,7 @@ fn run_check_command(args: &Args, report_path: Option<&Path>) {
             "test" => false,
             other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
         },
+        shards: args.shards,
     };
     let t0 = Instant::now();
     eprintln!(

@@ -83,6 +83,28 @@ pub struct Campaign {
     /// sequence is replayable and independent per IXP. `None` = the clean
     /// campaign.
     pub faults: Option<rp_netsim::FaultConfig>,
+    /// Data-plane shards per IXP network. `0` (the default) means one
+    /// shard per IXP fabric site, capped at the machine's available cores;
+    /// any explicit value is used as-is. Results are bit-identical at
+    /// every shard count — the value is pure performance policy, which is
+    /// why it may safely default to a machine-dependent core count.
+    #[serde(default)]
+    pub shards: usize,
+}
+
+/// Resolve a requested shard count: `0` = one shard per fabric site,
+/// capped at available cores; explicit values pass through (clamped to at
+/// least 1 by the simulator).
+fn resolve_shards(requested: usize, sites: usize) -> usize {
+    match requested {
+        0 => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            sites.min(cores).max(1)
+        }
+        n => n,
+    }
 }
 
 impl Campaign {
@@ -97,6 +119,7 @@ impl Campaign {
             ping_spacing: SimDuration::from_secs(1),
             route_server_pings: 8,
             faults: None,
+            shards: 0,
         }
     }
 
@@ -133,10 +156,20 @@ impl Campaign {
         );
         let duration = world.campaign_duration();
         let seed_base = seed::derive(world.config.seed, domain, ixp.0 as u64);
-        let mut net = Network::new(seed_base);
+        let n_shards = resolve_shards(self.shards, inst.sites.len());
+        let mut net = Network::with_shards(seed_base, n_shards);
+        let n_shards = net.shard_count() as usize;
+        let shard_for = move |site: usize| site % n_shards;
 
-        // Fabric: one switch per site, chained with inter-site spans.
-        let fabrics: Vec<NodeId> = inst.sites.iter().map(|_| net.add_switch()).collect();
+        // Fabric: one switch per site, chained with inter-site spans. The
+        // data plane shards by site: everything hanging off a site's
+        // fabric switch (LG hosts, member routers, remote-peering
+        // pseudowires) lives on that site's shard, so the only cross-shard
+        // links are the inter-site spans — whose ≥ 0.05 ms fiber delay is
+        // the scheduler's lookahead.
+        let fabrics: Vec<NodeId> = (0..inst.sites.len())
+            .map(|w| net.add_switch_on(shard_for(w)))
+            .collect();
         for w in 0..fabrics.len().saturating_sub(1) {
             let a_city = WORLD_CITIES[inst.sites[w] as usize].location;
             let b_city = WORLD_CITIES[inst.sites[w + 1] as usize].location;
@@ -152,7 +185,7 @@ impl Campaign {
         let mut lgs: Vec<(LgOperator, NodeId)> = Vec::new();
         for (k, &op) in inst.meta.lg.iter().enumerate() {
             let site = k.min(fabrics.len() - 1);
-            let host = net.add_host();
+            let host = net.add_host_on(shard_for(site));
             let (_, hp) = net.connect(fabrics[site], host, DelayModel::with_one_way_ms(0.05));
             net.bind_host(host, hp, IxpInstance::lg_ip(ixp, k as u32));
             lgs.push((op, host));
@@ -204,6 +237,11 @@ impl Campaign {
     /// [`Campaign::probe_ixp_ext`] plus the exact tallies of faults the
     /// configured injector fired during this IXP's run (all zero when
     /// [`Campaign::faults`] is `None`).
+    ///
+    /// With [`Campaign::shards`] > 1 (or more than one fabric site under
+    /// the default), the network's event loop drains shard windows on the
+    /// rayon pool, so a single big world can use every core — results are
+    /// bit-identical to the single-shard serial run either way.
     pub fn probe_ixp_full(
         &self,
         world: &World,
@@ -484,6 +522,9 @@ impl Campaign {
         let site = (m.access.site() as usize).min(fabrics.len() - 1);
         let fabric = fabrics[site];
         let ixp_loc = WORLD_CITIES[inst.sites[site] as usize].location;
+        // Everything below hangs off this site's fabric switch, so it all
+        // lives on the site's shard: only inter-site spans cross shards.
+        let shard = site % net.shard_count() as usize;
 
         // The attachment point seen from the fabric plus the access link's
         // delay model.
@@ -497,8 +538,8 @@ impl Campaign {
             } => {
                 // Provider switch at the IXP, long-haul pseudowire to the
                 // provider switch near the member, then the member's tail.
-                let prov_ixp = net.add_switch();
-                let prov_far = net.add_switch();
+                let prov_ixp = net.add_switch_on(shard);
+                let prov_far = net.add_switch_on(shard);
                 net.connect(fabric, prov_ixp, DelayModel::with_one_way_ms(0.05));
                 let origin = WORLD_CITIES[origin_city as usize].location;
                 let wire_ms = (world.scene.providers[provider as usize]
@@ -564,11 +605,11 @@ impl Campaign {
             // Registry-stale gadget: a front router proxy-ARPs for the
             // listed address and forwards one IP hop to the inner router
             // that actually holds it.
-            let front = net.add_router(RouterBehavior::default());
+            let front = net.add_router_on(shard, RouterBehavior::default());
             let (_, f_access) = net.connect(attach, front, link);
             let front_ip = Ipv4Addr::new(172, 16, (ixp.0 % 250) as u8, (2 + slot % 250) as u8);
             net.bind_router(front, f_access, front_ip);
-            let inner = net.add_router(behavior);
+            let inner = net.add_router_on(shard, behavior);
             let (f_in, i_port) = net.connect(front, inner, DelayModel::with_one_way_ms(0.8));
             net.bind_router(front, f_in, Ipv4Addr::new(192, 168, (slot % 250) as u8, 1));
             net.bind_router(inner, i_port, m.ip);
@@ -580,7 +621,7 @@ impl Campaign {
             let inner_r = net.router_mut(inner);
             inner_r.set_default_route(i_port);
         } else {
-            let router = net.add_router(behavior);
+            let router = net.add_router_on(shard, behavior);
             let (_, r_port) = net.connect(attach, router, link);
             net.bind_router(router, r_port, m.ip);
         }

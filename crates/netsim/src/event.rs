@@ -1,10 +1,12 @@
 //! The event queue.
 //!
-//! A hierarchical calendar (bucket) queue ordered by `(time, insertion
-//! sequence)`. The sequence number makes simultaneous events pop in
-//! insertion order, which is what makes whole-simulation runs
-//! bit-reproducible — the pop order is *identical* to the binary heap
-//! this structure replaced, only cheaper to maintain.
+//! A hierarchical calendar (bucket) queue ordered by `(time, key)`, where
+//! the [`EventKey`] is *intrinsic* to the event: the node that created it
+//! plus that node's private creation counter. Intrinsic keys are what make
+//! the sharded simulator bit-reproducible — a key does not depend on the
+//! global interleaving of pushes, so any partition of the events across
+//! shard queues pops in exactly the order one big queue would produce
+//! (the shard-equivalence contract pinned by `tests/shard_determinism.rs`).
 //!
 //! # Structure
 //!
@@ -37,7 +39,7 @@ pub enum Event {
         node: NodeId,
         /// Receiving port.
         port: PortId,
-        /// The arriving frame, resident in the network's frame arena.
+        /// The arriving frame, resident in the owning shard's frame arena.
         frame: FrameId,
     },
     /// An application timer (hosts use these to send planned pings).
@@ -47,6 +49,30 @@ pub enum Event {
         /// Opaque token chosen at scheduling time.
         token: u64,
     },
+}
+
+/// Intrinsic tie-break key of an event: who created it and how many events
+/// that creator had produced before. Unlike a queue-global insertion
+/// counter, the pair is a pure function of the creator's own execution
+/// history, so it is identical at every shard count — the property that
+/// lets cross-shard handoffs merge into a byte-identical trace.
+///
+/// Simultaneous events order by `(creator, seq)`; keys are globally unique
+/// because each creator numbers its events densely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Node index of the creating device, or [`EventKey::PLAN_CREATOR`]
+    /// for events planned before the run (scheduler pings, traceroutes).
+    pub creator: u32,
+    /// The creator's event-creation counter at push time.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// Sentinel creator for events scheduled during construction (before
+    /// any device has run); their `seq` comes from the network-wide plan
+    /// counter, which is fixed by construction order.
+    pub const PLAN_CREATOR: u32 = u32::MAX;
 }
 
 /// Number of calendar buckets (must be a power of two).
@@ -61,25 +87,25 @@ pub const BUCKET_WIDTH_NS: u64 = 1 << WIDTH_SHIFT;
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     at: SimTime,
-    seq: u64,
+    key: EventKey,
     event: Event,
 }
 
 impl Entry {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
+    fn sort_key(&self) -> (SimTime, EventKey) {
+        (self.at, self.key)
     }
 }
 
 /// Overflow-heap wrapper: reversed so `BinaryHeap` (a max-heap) pops the
-/// earliest `(at, seq)` first.
+/// earliest `(at, key)` first.
 #[derive(Debug)]
 struct HeapEntry(Entry);
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.0.key() == other.0.key()
+        self.0.sort_key() == other.0.sort_key()
     }
 }
 impl Eq for HeapEntry {}
@@ -90,7 +116,7 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.0.key().cmp(&self.0.key())
+        other.0.sort_key().cmp(&self.0.sort_key())
     }
 }
 
@@ -100,10 +126,11 @@ pub struct EventQueue {
     /// Ring of buckets covering `[base_slot, base_slot + BUCKET_COUNT)`
     /// time slots. Pushes append unsorted (O(1) even for the burst of
     /// simultaneous arrivals an ARP flood schedules into one slot); a
-    /// bucket is sorted *descending* by `(at, seq)` the first time it is
+    /// bucket is sorted *descending* by `(at, key)` the first time it is
     /// drained, after which its minimum is `last()` and popping is O(1).
-    /// Keys are unique — `seq` always differs — so the lazily sorted
-    /// order is exactly the order eager insertion would have produced.
+    /// Keys are unique — each creator numbers its events densely — so the
+    /// lazily sorted order is exactly the order eager insertion would have
+    /// produced.
     buckets: Vec<Vec<Entry>>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occ: [u64; BUCKET_WORDS],
@@ -116,7 +143,6 @@ pub struct EventQueue {
     in_buckets: usize,
     /// Events at or beyond the ring's horizon.
     overflow: BinaryHeap<HeapEntry>,
-    seq: u64,
 }
 
 impl Default for EventQueue {
@@ -128,7 +154,6 @@ impl Default for EventQueue {
             base_slot: 0,
             in_buckets: 0,
             overflow: BinaryHeap::new(),
-            seq: 0,
         }
     }
 }
@@ -139,11 +164,9 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedule `event` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        let entry = Entry { at, seq, event };
+    /// Schedule `event` at absolute time `at` under its intrinsic `key`.
+    pub fn push(&mut self, at: SimTime, key: EventKey, event: Event) {
+        let entry = Entry { at, key, event };
         // Devices never schedule into the past; the clamp is defensive
         // (a pre-base time would otherwise alias a future slot).
         let slot = (at.nanos() >> WIDTH_SHIFT).max(self.base_slot);
@@ -161,13 +184,13 @@ impl EventQueue {
         self.in_buckets += 1;
     }
 
-    /// Restore the descending `(at, seq)` order of `idx` if pushes have
+    /// Restore the descending `(at, key)` order of `idx` if pushes have
     /// appended to it since it was last drained.
     #[inline]
     fn ensure_sorted(&mut self, idx: usize) {
         let mask = 1u64 << (idx & 63);
         if self.dirty[idx >> 6] & mask != 0 {
-            self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse(e.sort_key()));
             self.dirty[idx >> 6] &= !mask;
         }
     }
@@ -196,9 +219,12 @@ impl EventQueue {
 
     /// Key of the earliest entry in `idx` (sorting the bucket if needed).
     #[inline]
-    fn bucket_min(&mut self, idx: usize) -> (SimTime, u64) {
+    fn bucket_min(&mut self, idx: usize) -> (SimTime, EventKey) {
         self.ensure_sorted(idx);
-        self.buckets[idx].last().expect("occupied bucket").key()
+        self.buckets[idx]
+            .last()
+            .expect("occupied bucket")
+            .sort_key()
     }
 
     fn pop_bucket(&mut self, idx: usize) -> (SimTime, Event) {
@@ -228,10 +254,10 @@ impl EventQueue {
         }
     }
 
-    /// Pop the earliest event (ties broken by insertion order).
+    /// Pop the earliest event (ties broken by [`EventKey`] order).
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
         let bucketed = self.first_bucket().map(|idx| (idx, self.bucket_min(idx)));
-        let overflow = self.overflow.peek().map(|e| e.0.key());
+        let overflow = self.overflow.peek().map(|e| e.0.sort_key());
         match (bucketed, overflow) {
             (None, None) => None,
             (Some((idx, _)), None) => Some(self.pop_bucket(idx)),
@@ -249,7 +275,7 @@ impl EventQueue {
     /// Time of the next event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         let bucketed = self.first_bucket().map(|idx| self.bucket_min(idx));
-        let overflow = self.overflow.peek().map(|e| e.0.key());
+        let overflow = self.overflow.peek().map(|e| e.0.sort_key());
         match (bucketed, overflow) {
             (None, None) => None,
             (Some(b), None) => Some(b.0),
@@ -280,6 +306,10 @@ mod tests {
         }
     }
 
+    fn key(creator: u32, seq: u64) -> EventKey {
+        EventKey { creator, seq }
+    }
+
     fn token_of(e: Event) -> u64 {
         match e {
             Event::Timer { token, .. } => token,
@@ -290,9 +320,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime(30), timer(0, 0));
-        q.push(SimTime(10), timer(0, 1));
-        q.push(SimTime(20), timer(0, 2));
+        q.push(SimTime(30), key(0, 0), timer(0, 0));
+        q.push(SimTime(10), key(0, 1), timer(0, 1));
+        q.push(SimTime(20), key(0, 2), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| token_of(e))
             .collect();
@@ -300,10 +330,12 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_key_not_push_order() {
+        // Push keys in reverse: pops must follow (creator, seq) order, not
+        // arrival order — the property the sharded barrier merge relies on.
         let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime(5), timer(0, i));
+        for i in (0..100u64).rev() {
+            q.push(SimTime(5), key(0, i), timer(0, i));
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| token_of(e))
@@ -312,11 +344,24 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_events_order_by_creator_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), key(2, 0), timer(2, 20));
+        q.push(SimTime(5), key(0, 9), timer(0, 9));
+        q.push(SimTime(5), key(1, 3), timer(1, 13));
+        q.push(SimTime(5), key(0, 2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| token_of(e))
+            .collect();
+        assert_eq!(order, vec![2, 9, 13, 20]);
+    }
+
+    #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime(7), timer(1, 1));
+        q.push(SimTime(7), key(1, 0), timer(1, 1));
         assert_eq!(q.peek_time(), Some(SimTime(7)));
         assert_eq!(q.len(), 1);
         q.pop();
@@ -327,13 +372,13 @@ mod tests {
     fn overflow_and_buckets_merge_exactly() {
         // Events far beyond the ring horizon (heap), inside the window
         // (buckets), and straddling ties across the two must pop in
-        // global (time, seq) order.
+        // global (time, key) order.
         let mut q = EventQueue::new();
         let horizon = BUCKET_WIDTH_NS * BUCKET_COUNT as u64;
-        q.push(SimTime(horizon * 3), timer(0, 0)); // far future: heap
-        q.push(SimTime(40), timer(0, 1)); // near: bucket
-        q.push(SimTime(horizon + 5), timer(0, 2)); // past horizon: heap
-        q.push(SimTime(horizon - 1), timer(0, 3)); // last bucket
+        q.push(SimTime(horizon * 3), key(0, 0), timer(0, 0)); // far future: heap
+        q.push(SimTime(40), key(0, 1), timer(0, 1)); // near: bucket
+        q.push(SimTime(horizon + 5), key(0, 2), timer(0, 2)); // past horizon: heap
+        q.push(SimTime(horizon - 1), key(0, 3), timer(0, 3)); // last bucket
         assert_eq!(q.len(), 4);
         assert_eq!(q.peek_time(), Some(SimTime(40)));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
@@ -343,23 +388,25 @@ mod tests {
     }
 
     #[test]
-    fn ties_across_heap_and_bucket_respect_insertion_order() {
+    fn ties_across_heap_and_bucket_respect_key_order() {
         // An event lands in the heap (beyond the horizon); later, after
-        // the window advances, an event at the *same time* lands in a
-        // bucket. The heap one was inserted first, so it pops first.
+        // the window advances, an event at the *same time* but a smaller
+        // key lands in a bucket. The bucketed one pops first: key order
+        // wins regardless of which structure holds the entry.
         let mut q = EventQueue::new();
         let horizon = BUCKET_WIDTH_NS * BUCKET_COUNT as u64;
         let t = horizon + 100;
-        q.push(SimTime(t), timer(0, 0)); // heap (beyond horizon)
-        q.push(SimTime(horizon - 1), timer(0, 1)); // bucket
+        q.push(SimTime(t), key(0, 7), timer(0, 0)); // heap (beyond horizon)
+        q.push(SimTime(horizon - 1), key(0, 1), timer(0, 1)); // bucket
         let (at, e) = q.pop().unwrap();
         assert_eq!((at, token_of(e)), (SimTime(horizon - 1), 1));
-        // Window has advanced near `t`; this push lands in a bucket.
-        q.push(SimTime(t), timer(0, 2));
+        // Window has advanced near `t`; this push lands in a bucket with a
+        // key *below* the heap-resident entry's.
+        q.push(SimTime(t), key(0, 3), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| token_of(e))
             .collect();
-        assert_eq!(order, vec![0, 2]);
+        assert_eq!(order, vec![2, 0]);
     }
 
     #[test]
@@ -367,7 +414,7 @@ mod tests {
         // Repeated pop-then-push cycles walk the window far past one
         // ring lap; ordering must hold throughout.
         let mut q = EventQueue::new();
-        q.push(SimTime(0), timer(0, 0));
+        q.push(SimTime(0), key(0, 0), timer(0, 0));
         let mut popped = Vec::new();
         let mut next_token = 1;
         while let Some((at, e)) = q.pop() {
@@ -376,7 +423,11 @@ mod tests {
                 // Hop ~1/3 of the ring forward each step: crosses the
                 // ring boundary several times over the run.
                 let jump = BUCKET_WIDTH_NS * 341 + 17;
-                q.push(SimTime(at.nanos() + jump), timer(0, next_token));
+                q.push(
+                    SimTime(at.nanos() + jump),
+                    key(0, next_token),
+                    timer(0, next_token),
+                );
                 next_token += 1;
             }
         }
@@ -387,20 +438,20 @@ mod tests {
     }
 
     #[test]
-    fn dense_same_bucket_events_pop_fifo() {
+    fn dense_same_bucket_events_pop_in_key_order() {
         // Many events inside one bucket width with interleaved times.
         let mut q = EventQueue::new();
         for i in 0..32 {
-            q.push(SimTime((i * 7) % 19), timer(0, i));
+            q.push(SimTime((i * 7) % 19), key(0, i), timer(0, i));
         }
         let mut last = (SimTime(0), 0);
         let mut n = 0;
         while let Some((at, e)) = q.pop() {
-            let key = (at, token_of(e));
+            let k = (at, token_of(e));
             if n > 0 {
-                assert!(key.0 > last.0 || (key.0 == last.0 && key.1 > last.1));
+                assert!(k.0 > last.0 || (k.0 == last.0 && k.1 > last.1));
             }
-            last = key;
+            last = k;
             n += 1;
         }
         assert_eq!(n, 32);

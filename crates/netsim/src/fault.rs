@@ -7,10 +7,14 @@
 //! exist to survive.
 //!
 //! Every decision draws from an RNG derived with [`seed::rng2`] from the
-//! injector's seed, the link index, and a per-injector decision counter,
-//! so a fault sequence is a pure function of `(seed, event order)`: the
-//! same seed replays the identical faults, frame for frame (the replay
-//! invariant pinned by `rp-testkit`).
+//! injector's seed, the link *direction* (`link × 2 + dir`), and a
+//! per-direction decision counter. A direction is only ever driven by the
+//! device transmitting on it, so each decision stream is a pure function
+//! of that device's own execution history — independent of how the
+//! network is partitioned into shards and of global event interleaving.
+//! The same seed therefore replays the identical faults, frame for frame
+//! (the replay invariant pinned by `rp-testkit`), at every shard count
+//! (the shard-equivalence contract of `tests/shard_determinism.rs`).
 
 use crate::frame::{Frame, IcmpMessage, Payload};
 use rand::RngExt;
@@ -186,17 +190,44 @@ pub struct TxFaults {
 /// Gap between a frame and its injected duplicate.
 pub const DUPLICATE_GAP: SimDuration = SimDuration::from_micros(90);
 
-/// Seeded per-network fault state; install with
-/// [`crate::Network::install_faults`].
+/// One log entry plus the metadata that orders it canonically: the
+/// direction stream it belongs to (`link × 2 + dir`), the decision number
+/// within that stream, and the record index within the decision (one
+/// transmission can log several faults). The triple is unique, so sorting
+/// by `(at, dirkey, seq, rec)` yields one total order that every shard
+/// count reproduces — merged per-shard logs are byte-identical to a
+/// single-shard run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LogRecord {
+    pub(crate) dirkey: u64,
+    pub(crate) seq: u64,
+    pub(crate) rec: u32,
+    pub(crate) event: FaultEvent,
+}
+
+impl LogRecord {
+    /// The canonical ordering key (times first, then stream coordinates).
+    pub(crate) fn order(&self) -> (SimTime, u64, u64, u32) {
+        (self.event.at, self.dirkey, self.seq, self.rec)
+    }
+}
+
+/// Seeded fault state; install with [`crate::Network::install_faults`].
+/// The sharded network keeps one injector per shard — each link direction
+/// is driven by exactly one shard, so the per-direction streams never
+/// interleave and tallies/logs merge losslessly.
 #[derive(Debug)]
 pub struct FaultInjector {
     cfg: FaultConfig,
-    /// Decision counter, the `subindex` of each decision's derived RNG.
-    seq: u64,
+    /// Per-direction decision counters, indexed `link × 2 + dir`; each is
+    /// the `subindex` of that direction's next derived decision RNG.
+    seqs: Vec<u64>,
     /// Memoized per-link flap verdicts (each a pure function of the seed).
     flapping: HashMap<u32, bool>,
     counts: FaultCounts,
-    log: Vec<FaultEvent>,
+    log: Vec<LogRecord>,
+    /// Record counter within the current decision (resets per transmit).
+    rec: u32,
 }
 
 impl FaultInjector {
@@ -204,10 +235,11 @@ impl FaultInjector {
     pub fn new(cfg: FaultConfig) -> Self {
         FaultInjector {
             cfg,
-            seq: 0,
+            seqs: Vec::new(),
             flapping: HashMap::new(),
             counts: FaultCounts::default(),
             log: Vec::new(),
+            rec: 0,
         }
     }
 
@@ -221,14 +253,41 @@ impl FaultInjector {
         self.counts
     }
 
-    /// The replay log (first [`FAULT_LOG_CAP`] events).
-    pub fn log(&self) -> &[FaultEvent] {
+    /// This injector's raw log records (at most [`FAULT_LOG_CAP`]).
+    pub(crate) fn records(&self) -> &[LogRecord] {
         &self.log
     }
 
-    fn record(&mut self, at: SimTime, link: u32, kind: FaultKind) {
+    /// The injector's replay log in canonical `(time, direction, seq)`
+    /// order.
+    pub fn log(&self) -> Vec<FaultEvent> {
+        Self::merge_logs(std::iter::once(self))
+    }
+
+    /// Merge the logs of several injectors (the per-shard injectors of one
+    /// network) into the canonical order, capped at [`FAULT_LOG_CAP`].
+    pub(crate) fn merge_logs<'a, I: IntoIterator<Item = &'a FaultInjector>>(
+        injectors: I,
+    ) -> Vec<FaultEvent> {
+        let mut all: Vec<LogRecord> = injectors
+            .into_iter()
+            .flat_map(|i| i.records().iter().copied())
+            .collect();
+        all.sort_unstable_by_key(LogRecord::order);
+        all.truncate(FAULT_LOG_CAP);
+        all.into_iter().map(|r| r.event).collect()
+    }
+
+    fn record(&mut self, dirkey: u64, at: SimTime, link: u32, kind: FaultKind) {
         if self.log.len() < FAULT_LOG_CAP {
-            self.log.push(FaultEvent { at, link, kind });
+            let seq = self.seqs[dirkey as usize];
+            self.log.push(LogRecord {
+                dirkey,
+                seq,
+                rec: self.rec,
+                event: FaultEvent { at, link, kind },
+            });
+            self.rec += 1;
         }
     }
 
@@ -240,19 +299,35 @@ impl FaultInjector {
             .or_insert_with(|| seed::rng2(s, "fault-flap", link as u64, 0).random::<f64>() < p)
     }
 
-    /// Decide the faults for one frame entering `link` at `now`. May
-    /// rewrite the frame's TTL in place.
-    pub(crate) fn on_transmit(&mut self, now: SimTime, link: u32, frame: &mut Frame) -> TxFaults {
+    /// Decide the faults for one frame entering direction `dir` of `link`
+    /// at `now`. May rewrite the frame's TTL in place.
+    pub(crate) fn on_transmit(
+        &mut self,
+        now: SimTime,
+        link: u32,
+        dir: u8,
+        frame: &mut Frame,
+    ) -> TxFaults {
         let mut out = TxFaults::default();
         self.counts.decisions += 1;
-        let mut rng = seed::rng2(self.cfg.seed, "fault-tx", link as u64, self.seq);
-        self.seq += 1;
+        self.rec = 0;
+        let dirkey = (link as u64) << 1 | dir as u64;
+        if self.seqs.len() <= dirkey as usize {
+            self.seqs.resize(dirkey as usize + 1, 0);
+        }
+        let mut rng = seed::rng2(
+            self.cfg.seed,
+            "fault-tx",
+            dirkey,
+            self.seqs[dirkey as usize],
+        );
 
         if let Some((lo, hi)) = self.cfg.flap_window {
             if now >= lo && now < hi && self.link_flaps(link) {
                 self.counts.flap_drops += 1;
-                self.record(now, link, FaultKind::LinkFlap);
+                self.record(dirkey, now, link, FaultKind::LinkFlap);
                 out.drop = true;
+                self.seqs[dirkey as usize] += 1;
                 return out;
             }
         }
@@ -262,29 +337,31 @@ impl FaultInjector {
                 && rng.random::<f64>() < self.cfg.probe_loss
             {
                 self.counts.probe_drops += 1;
-                self.record(now, link, FaultKind::ProbeLoss);
+                self.record(dirkey, now, link, FaultKind::ProbeLoss);
                 out.drop = true;
+                self.seqs[dirkey as usize] += 1;
                 return out;
             }
             if matches!(pkt.payload, IcmpMessage::EchoReply { .. })
                 && rng.random::<f64>() < self.cfg.reply_duplication
             {
                 self.counts.reply_duplicates += 1;
-                self.record(now, link, FaultKind::ReplyDuplication);
+                self.record(dirkey, now, link, FaultKind::ReplyDuplication);
                 out.duplicate = true;
             }
             if rng.random::<f64>() < self.cfg.ttl_rewrite {
                 pkt.ttl = self.cfg.ttl_rewrite_to;
                 self.counts.ttl_rewrites += 1;
-                self.record(now, link, FaultKind::TtlRewrite);
+                self.record(dirkey, now, link, FaultKind::TtlRewrite);
             }
         }
 
         if rng.random::<f64>() < self.cfg.jitter_spike {
             out.extra_delay = SimDuration::from_nanos((self.cfg.jitter_spike_ms * 1e6) as u64);
             self.counts.jitter_spikes += 1;
-            self.record(now, link, FaultKind::JitterSpike);
+            self.record(dirkey, now, link, FaultKind::JitterSpike);
         }
+        self.seqs[dirkey as usize] += 1;
         out
     }
 }

@@ -195,8 +195,28 @@ impl Frame {
 
 /// Handle into a [`FrameArena`]: a dense 4-byte index that in-flight
 /// events carry instead of a 40-byte [`Frame`] copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrameId(u32);
+///
+/// Under `debug_assertions` the id also remembers which arena issued it,
+/// so presenting a shard A frame id to shard B's arena panics instead of
+/// silently reading an unrelated slot — the hazard the sharded data plane
+/// introduces, since every shard owns a private arena and cross-shard
+/// handoffs must carry frames *by value*, never by id. Equality ignores
+/// the tag, so debug and release builds agree on id comparisons.
+#[derive(Debug, Clone, Copy, Eq)]
+pub struct FrameId {
+    idx: u32,
+    #[cfg(debug_assertions)]
+    arena: u32,
+}
+
+impl PartialEq for FrameId {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx
+    }
+}
+
+#[cfg(debug_assertions)]
+static NEXT_ARENA_TAG: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
 
 /// Slab allocator for in-flight frames.
 ///
@@ -208,15 +228,33 @@ pub struct FrameId(u32);
 /// Freed slots are recycled LIFO so the hot path keeps touching the same
 /// few cache lines.
 ///
-/// Lifecycle misuse (double free, use after free) is caught by a
-/// slot-liveness bitmap under `debug_assertions`; release builds pay
-/// nothing for it.
-#[derive(Debug, Default)]
+/// Lifecycle misuse (double free, use after free, and — since each shard
+/// owns its own arena — handing a [`FrameId`] to a foreign arena) is
+/// caught by a slot-liveness bitmap and a per-arena tag under
+/// `debug_assertions`; release builds pay nothing for either.
+#[derive(Debug)]
 pub struct FrameArena {
     slots: Vec<Frame>,
     free: Vec<u32>,
     #[cfg(debug_assertions)]
     live: Vec<bool>,
+    #[cfg(debug_assertions)]
+    tag: u32,
+}
+
+impl Default for FrameArena {
+    fn default() -> Self {
+        FrameArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            #[cfg(debug_assertions)]
+            live: Vec::new(),
+            // The tag only ever feeds debug assertions, so drawing it from
+            // a process-wide counter cannot perturb simulation results.
+            #[cfg(debug_assertions)]
+            tag: NEXT_ARENA_TAG.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 impl FrameArena {
@@ -225,23 +263,40 @@ impl FrameArena {
         Self::default()
     }
 
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn check_owned(&self, id: FrameId) {
+        debug_assert!(
+            id.arena == self.tag,
+            "foreign arena: {id:?} was issued by arena {}, not arena {} — \
+             cross-shard frames must be handed off by value",
+            id.arena,
+            self.tag
+        );
+    }
+
     /// Store `frame`, reusing the most recently freed slot if any.
     #[inline]
     pub fn alloc(&mut self, frame: Frame) -> FrameId {
-        if let Some(idx) = self.free.pop() {
+        let idx = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = frame;
             #[cfg(debug_assertions)]
             {
                 debug_assert!(!self.live[idx as usize], "allocating a live slot");
                 self.live[idx as usize] = true;
             }
-            FrameId(idx)
+            idx
         } else {
             let idx = u32::try_from(self.slots.len()).expect("frame arena overflow");
             self.slots.push(frame);
             #[cfg(debug_assertions)]
             self.live.push(true);
-            FrameId(idx)
+            idx
+        };
+        FrameId {
+            idx,
+            #[cfg(debug_assertions)]
+            arena: self.tag,
         }
     }
 
@@ -249,14 +304,19 @@ impl FrameArena {
     #[inline]
     pub fn get(&self, id: FrameId) -> &Frame {
         #[cfg(debug_assertions)]
-        debug_assert!(self.live[id.0 as usize], "use after free: {id:?}");
-        &self.slots[id.0 as usize]
+        {
+            self.check_owned(id);
+            debug_assert!(self.live[id.idx as usize], "use after free: {id:?}");
+        }
+        &self.slots[id.idx as usize]
     }
 
     /// Copy the frame out and release its slot.
     #[inline]
     pub fn take(&mut self, id: FrameId) -> Frame {
-        let frame = self.slots[id.0 as usize];
+        #[cfg(debug_assertions)]
+        self.check_owned(id);
+        let frame = self.slots[id.idx as usize];
         self.release(id);
         frame
     }
@@ -266,10 +326,11 @@ impl FrameArena {
     pub fn release(&mut self, id: FrameId) {
         #[cfg(debug_assertions)]
         {
-            debug_assert!(self.live[id.0 as usize], "double free: {id:?}");
-            self.live[id.0 as usize] = false;
+            self.check_owned(id);
+            debug_assert!(self.live[id.idx as usize], "double free: {id:?}");
+            self.live[id.idx as usize] = false;
         }
-        self.free.push(id.0);
+        self.free.push(id.idx);
     }
 
     /// Number of frames currently in flight.
@@ -390,5 +451,45 @@ mod tests {
         let id = arena.alloc(probe(0));
         arena.release(id);
         let _ = arena.get(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign arena")]
+    #[cfg(debug_assertions)]
+    fn arena_catches_foreign_release() {
+        // Shard A's id freed into shard B's arena: the per-shard liveness
+        // state must not be consulted with another shard's index.
+        let mut shard_a = FrameArena::new();
+        let mut shard_b = FrameArena::new();
+        let id_a = arena_id(&mut shard_a);
+        let _ = shard_b.alloc(probe(1)); // same slot index exists in B
+        shard_b.release(id_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign arena")]
+    #[cfg(debug_assertions)]
+    fn arena_catches_foreign_take() {
+        let mut shard_a = FrameArena::new();
+        let mut shard_b = FrameArena::new();
+        let id_a = arena_id(&mut shard_a);
+        let _ = shard_b.alloc(probe(1));
+        let _ = shard_b.take(id_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign arena")]
+    #[cfg(debug_assertions)]
+    fn arena_catches_foreign_get() {
+        let mut shard_a = FrameArena::new();
+        let mut shard_b = FrameArena::new();
+        let id_a = arena_id(&mut shard_a);
+        let _ = shard_b.alloc(probe(1));
+        let _ = shard_b.get(id_a);
+    }
+
+    #[cfg(debug_assertions)]
+    fn arena_id(arena: &mut FrameArena) -> FrameId {
+        arena.alloc(probe(0))
     }
 }

@@ -2,9 +2,11 @@
 
 //! # rp-netsim
 //!
-//! A deterministic, single-threaded, discrete-event packet simulator for
+//! A deterministic, shardable, discrete-event packet simulator for
 //! layer-2/layer-3 scenes — the substrate under the paper's ping-based
-//! detection method (section 3).
+//! detection method (section 3). The data plane partitions into per-shard
+//! event queues coupled by epoch barriers (see `sim.rs`); results are
+//! bit-identical at every shard and thread count.
 //!
 //! The paper's six measurement filters are only meaningful if the network
 //! artifacts they guard against can actually occur. This simulator models
@@ -28,7 +30,7 @@
 //!
 //! Design follows the event-driven, no-surprises spirit of `smoltcp`: plain
 //! structs, no async runtime (the workload is pure computation), and a
-//! strictly deterministic event order (time, then insertion sequence).
+//! strictly deterministic event order (time, then intrinsic creator key).
 
 pub mod event;
 pub mod fault;

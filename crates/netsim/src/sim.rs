@@ -1,11 +1,35 @@
-//! The network container and event loop.
+//! The network container and sharded event loop.
 //!
-//! `Network` owns every device, link, and pending event, and advances
-//! simulated time by draining the event queue. Determinism contract: the
-//! same construction sequence and seed produce the same event trace, frame
-//! for frame.
+//! `Network` owns every device and link, partitioned into one or more
+//! *shards* — each with its own calendar event queue, frame arena, RNG
+//! streams, and fault injector. Shards advance in lock-step *windows*
+//! bounded by a conservative lookahead (the minimum one-way base delay of
+//! any link that crosses a shard boundary); frames crossing shards are
+//! buffered in per-destination outboxes and delivered at the epoch barrier
+//! between windows.
+//!
+//! Determinism contract: the same construction sequence and seed produce
+//! the same event trace, frame for frame, **at any shard count and on any
+//! number of threads**. Every source of per-event state is keyed to an
+//! entity that lives on exactly one shard:
+//!
+//! - event ordering uses the intrinsic [`EventKey`] `(creator, seq)` pair,
+//!   a pure function of each creator's own history (see `event.rs`);
+//! - link jitter draws from a per-*direction* stream owned by the
+//!   transmitting side's shard;
+//! - router per-event RNGs are indexed by a per-node dispatch counter;
+//! - fault decisions draw from per-`(link, direction)` streams
+//!   (see `fault.rs`).
+//!
+//! None of these depend on how entities are assigned to shards, so any
+//! partition — including the trivial one-shard partition — yields
+//! bit-identical observables. The epoch barrier guarantees no event is
+//! dispatched before a cross-shard frame that precedes it: a shard that
+//! has drained everything before `T` cannot receive a cross-shard frame
+//! earlier than `T + lookahead` (every delay term is additive and
+//! non-negative), and windows never extend past `t_min + lookahead`.
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventKey, EventQueue};
 use crate::fault::{FaultCounts, FaultEvent, FaultInjector, TxFaults, DUPLICATE_GAP};
 use crate::frame::{Frame, FrameArena, MacAddr, Payload};
 use crate::host::Host;
@@ -14,6 +38,7 @@ use crate::router::{Router, RouterBehavior};
 use crate::switch::Switch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use rp_types::{seed, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -97,64 +122,96 @@ pub enum Device {
 struct Attachment {
     far_node: NodeId,
     far_port: PortId,
+    /// Shard owning the far node (frames to it may need a handoff).
+    far_shard: u32,
     link: u32,
     /// Which direction of the (full-duplex) link this side transmits on.
     dir: u8,
+    /// Index of this direction's [`DirState`] in the transmitting shard.
+    dir_loc: u32,
 }
 
+/// Shard placement and port wiring of one node. Devices themselves live
+/// inside their shard so the parallel window never touches shared state.
 #[derive(Debug)]
-struct Node {
-    device: Device,
+struct NodeMeta {
     ports: Vec<Attachment>,
+    /// Owning shard.
+    shard: u32,
+    /// Index into the owning shard's `devices`/`seqs`/`rx` vectors.
+    loc: u32,
 }
 
+/// Immutable link description; per-direction mutable state ([`DirState`])
+/// lives in the transmitting shard.
 #[derive(Debug)]
-struct Link {
+struct LinkMeta {
     delay: DelayModel,
-    /// Per-link jitter stream; `None` for fully deterministic delay
-    /// models, which skip RNG construction and per-frame sampling. Each
-    /// link's stream is isolated, so the skip cannot shift any other
-    /// stream's draws.
-    rng: Option<StdRng>,
-    /// Per-direction transmit-queue horizon: the instant each direction's
-    /// line becomes idle (finite-bandwidth links only).
-    busy_until: [SimTime; 2],
+    a: NodeId,
+    b: NodeId,
 }
 
-/// A simulated network of switches, routers, and hosts.
-pub struct Network {
-    seed: u64,
-    nodes: Vec<Node>,
-    links: Vec<Link>,
-    queue: EventQueue,
-    now: SimTime,
-    next_mac: u64,
-    events_processed: u64,
-    /// Frames dropped because a device transmitted on an unconnected port.
-    dropped_unconnected: u64,
-    /// Largest per-link transmit-queue depth seen (frames waiting ahead of
-    /// a newly enqueued frame, plus itself). Only tracked while
-    /// observability is on — see `obs_active`.
-    queue_depth_hwm: u64,
-    /// `rp_obs::enabled()` sampled at run start: the event loop is the
-    /// hottest code in the repo, so per-event work reads one bool instead
-    /// of the atomic, and counters flush to the registry once per run.
-    obs_active: bool,
-    obs_flushed_events: u64,
-    obs_flushed_drops: u64,
-    /// Running FNV-1a digest of the first [`TRACE_DIGEST_EVENTS`] dispatched
-    /// events, folding `(time, node, kind)` per event. Pins the exact event
-    /// trace across scheduler/pool refactors; cost is a few ALU ops per
-    /// event, so it is always on.
-    trace_digest: u64,
-    /// Slab of in-flight frames: events carry 4-byte [`crate::frame::FrameId`]s
-    /// instead of frame copies; slots are freed the moment a frame is
-    /// delivered, so the arena stays as small as the peak in-flight count.
-    frames: FrameArena,
-    /// Precomputed `(seed, "router-frame")` key: the per-event router RNG
-    /// is derived once per frame, so the domain-label hash is hoisted out
-    /// of the hot loop.
+/// Mutable per-direction link state, owned by the shard of the node that
+/// transmits in this direction.
+#[derive(Debug)]
+struct DirState {
+    /// Jitter stream for this direction; `None` for fully deterministic
+    /// delay models, which skip RNG construction and per-frame sampling.
+    /// Streams are per-direction (not per-link) so both endpoints of a
+    /// cross-shard link can sample without coordination — and so draws are
+    /// a pure function of each direction's own traffic, independent of the
+    /// shard layout.
+    rng: Option<StdRng>,
+    /// Transmit-queue horizon: the instant this direction's line becomes
+    /// idle (finite-bandwidth links only).
+    busy_until: SimTime,
+}
+
+/// A frame in transit to another shard, buffered until the next barrier.
+#[derive(Debug)]
+struct Xfer {
+    at: SimTime,
+    key: EventKey,
+    node: NodeId,
+    port: PortId,
+    frame: Frame,
+}
+
+/// Read-only state every shard needs while draining a window. Shards hold
+/// devices and queues by value; this is the only data shared between
+/// worker threads, and it is never written during a window.
+struct Ctx<'a> {
+    nodes: &'a [NodeMeta],
+    links: &'a [LinkMeta],
     router_key: seed::DomainKey,
+    obs_active: bool,
+    /// Debug-only skew added to cross-shard deliveries; see
+    /// [`Network::debug_skew_cross_shard`].
+    xshard_skew: SimDuration,
+}
+
+/// One shard of the data plane: a self-contained event loop over the
+/// devices assigned to it, plus outboxes for frames leaving the shard.
+struct Shard {
+    /// This shard's index, so `deliver` can tell local from cross-shard.
+    me: u32,
+    devices: Vec<Device>,
+    /// Per-device event-creation counters (the `seq` of [`EventKey`]),
+    /// indexed by device `loc`.
+    seqs: Vec<u64>,
+    /// Per-device dispatched-event counters, indexed by `loc`; feeds the
+    /// router per-event RNG index so it is independent of shard layout.
+    rx: Vec<u64>,
+    /// Per-direction link state, indexed by `Attachment::dir_loc`.
+    dirs: Vec<DirState>,
+    queue: EventQueue,
+    /// Slab of in-flight frames: events carry 4-byte
+    /// [`crate::frame::FrameId`]s instead of frame copies; slots are freed
+    /// the moment a frame is delivered. Strictly per-shard — cross-shard
+    /// frames travel by value and are re-allocated in the destination
+    /// arena at the barrier.
+    frames: FrameArena,
+    now: SimTime,
     /// Stand-in generator passed to routers for ARP frames, whose handling
     /// never draws — ARP floods hit every member on a fabric, so skipping
     /// the per-event seeding there is a measurable win. Debug builds
@@ -164,92 +221,404 @@ pub struct Network {
     /// across every dispatch so the hot loop never allocates.
     scratch: Vec<Action>,
     /// Optional fault injection consulted on every frame transmission.
+    /// Per-shard so the parallel window needs no locking; decision streams
+    /// are keyed by `(link, dir)`, so the split cannot change outcomes.
     faults: Option<FaultInjector>,
+    events_processed: u64,
+    /// Frames dropped because a device transmitted on an unconnected port.
+    dropped_unconnected: u64,
+    /// Largest per-link transmit-queue depth seen (frames waiting ahead of
+    /// a newly enqueued frame, plus itself). Only tracked while
+    /// observability is on.
+    queue_depth_hwm: u64,
+    /// Commutative trace digest: the wrapping sum of a mixed hash of
+    /// `(time, node, kind)` over every dispatched event. Addition commutes,
+    /// so the merged digest is independent of how events interleave across
+    /// shards — it pins *which* events ran at *what* times, which together
+    /// with per-entity keying pins the whole trace.
+    digest: u64,
+    /// Frames bound for other shards, buffered until the next barrier.
+    /// `outbox[dst]` for `dst == me` stays empty.
+    outbox: Vec<Vec<Xfer>>,
+    /// Total frames this shard handed to other shards.
+    handoffs: u64,
 }
 
-/// How many leading events the trace digest covers.
-pub const TRACE_DIGEST_EVENTS: u64 = 10_000;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Minimum total pending events before a window is drained on the rayon
+/// pool. Below this, thread spawn/handoff costs more than the work; the
+/// serial path is bit-identical, so the threshold is pure policy.
+const PAR_WINDOW_EVENTS: usize = 4096;
 
 #[inline]
-fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed, dependency-free.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn event_hash(at: SimTime, node: u32, kind: u64) -> u64 {
+    mix64(
+        at.nanos()
+            .wrapping_add(mix64((u64::from(node) << 1) | kind)),
+    )
+}
+
+impl Shard {
+    fn new(me: u32, total: usize) -> Self {
+        Shard {
+            me,
+            devices: Vec::new(),
+            seqs: Vec::new(),
+            rx: Vec::new(),
+            dirs: Vec::new(),
+            queue: EventQueue::new(),
+            frames: FrameArena::new(),
+            now: SimTime::ZERO,
+            arp_rng: StdRng::seed_from_u64(0),
+            scratch: Vec::new(),
+            faults: None,
+            events_processed: 0,
+            dropped_unconnected: 0,
+            queue_depth_hwm: 0,
+            digest: 0,
+            outbox: (0..total).map(|_| Vec::new()).collect(),
+            handoffs: 0,
+        }
     }
-    h
+
+    /// Mint the next event key for the device at `loc` (global id `node`).
+    #[inline]
+    fn next_key(&mut self, node: NodeId, loc: usize) -> EventKey {
+        let seq = self.seqs[loc];
+        self.seqs[loc] += 1;
+        EventKey {
+            creator: node.0,
+            seq,
+        }
+    }
+
+    /// Drain every event strictly before `horizon`.
+    fn drain_window(&mut self, ctx: &Ctx<'_>, horizon: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at >= horizon {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(ctx, event);
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &Ctx<'_>, event: Event) {
+        self.events_processed += 1;
+        let (node, kind) = match &event {
+            Event::FrameArrival { node, .. } => (*node, 0u64),
+            Event::Timer { node, .. } => (*node, 1u64),
+        };
+        self.digest = self.digest.wrapping_add(event_hash(self.now, node.0, kind));
+        let meta = &ctx.nodes[node.index()];
+        let loc = meta.loc as usize;
+        self.rx[loc] += 1;
+        let mut actions = std::mem::take(&mut self.scratch);
+        match event {
+            Event::FrameArrival { port, frame, .. } => {
+                // Copy the frame out of the arena and release its slot
+                // immediately: delivery ends the in-flight lifetime.
+                let frame = self.frames.take(frame);
+                let n_ports = meta.ports.len() as u16;
+                let now = self.now;
+                match &mut self.devices[loc] {
+                    Device::Switch(sw) => sw.on_frame_into(port, n_ports, frame, &mut actions),
+                    Device::Router(r) => {
+                        if matches!(frame.payload, Payload::Arp(_)) {
+                            // The ARP arms never draw, so the per-event
+                            // stream need not be derived at all: an
+                            // untouched generator leaves no trace.
+                            r.on_frame_into(now, port, frame, &mut self.arp_rng, &mut actions);
+                            debug_assert_eq!(
+                                self.arp_rng,
+                                StdRng::seed_from_u64(0),
+                                "router ARP handling drew from its RNG; \
+                                 the ARP fast path is no longer sound"
+                            );
+                        } else {
+                            // Derive a per-event RNG from (node, per-node
+                            // dispatch count). The count is a property of
+                            // the node's own history, so the stream is the
+                            // same at every shard count.
+                            let mut rng = seed::rng_from_key(
+                                ctx.router_key,
+                                (node.0 as u64) << 40 | self.rx[loc],
+                            );
+                            r.on_frame_into(now, port, frame, &mut rng, &mut actions);
+                        }
+                    }
+                    Device::Host(h) => h.on_frame_into(now, port, frame, &mut actions),
+                }
+            }
+            Event::Timer { token, .. } => {
+                let now = self.now;
+                if let Device::Host(h) = &mut self.devices[loc] {
+                    h.on_timer_into(now, token, &mut actions);
+                }
+            }
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send {
+                    port,
+                    mut frame,
+                    after,
+                } => {
+                    let Some(att) = meta.ports.get(port.index()).copied() else {
+                        self.dropped_unconnected += 1;
+                        continue; // unconnected port: drop
+                    };
+                    let fx = match self.faults.as_mut() {
+                        Some(inj) => inj.on_transmit(self.now, att.link, att.dir, &mut frame),
+                        None => TxFaults::default(),
+                    };
+                    if fx.drop {
+                        continue; // injected loss: the frame never transmits
+                    }
+                    let ready = self.now + after;
+                    let delay_model = &ctx.links[att.link as usize].delay;
+                    // Finite-bandwidth links serialize frames through a
+                    // per-direction FIFO: transmission starts when both the
+                    // frame and the line are ready.
+                    let tx_time = delay_model.serialization(frame.wire_size());
+                    let ds = &mut self.dirs[att.dir_loc as usize];
+                    let start = ready.max(ds.busy_until);
+                    if ctx.obs_active && (self.events_processed & 63) == 0 {
+                        // Queue depth behind this frame, in frames: backlog
+                        // wait divided by one serialization time, plus the
+                        // frame itself. Sampled on power-of-two per-shard
+                        // event counts so the gauge costs nothing in steady
+                        // state. Pure read — never feeds back into the
+                        // simulation (which is why a shard-count-dependent
+                        // sampling phase is acceptable here).
+                        let tx_ns = tx_time.nanos();
+                        if tx_ns > 0 && start > ready {
+                            let depth = (start.nanos() - ready.nanos()) / tx_ns + 1;
+                            self.queue_depth_hwm = self.queue_depth_hwm.max(depth);
+                        }
+                    }
+                    let tx_done = start + tx_time;
+                    ds.busy_until = tx_done;
+                    let delay = match ds.rng.as_mut() {
+                        Some(rng) => delay_model.sample(start, rng),
+                        None => delay_model.sample_deterministic(start),
+                    };
+                    let arrival = tx_done + delay + fx.extra_delay;
+                    if fx.duplicate {
+                        let key = self.next_key(node, loc);
+                        self.deliver(ctx, &att, arrival + DUPLICATE_GAP, key, frame);
+                    }
+                    let key = self.next_key(node, loc);
+                    self.deliver(ctx, &att, arrival, key, frame);
+                }
+                Action::Schedule { at, token } => {
+                    let key = self.next_key(node, loc);
+                    self.queue.push(at, key, Event::Timer { node, token });
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+
+    /// Route a transmitted frame to its destination: locally if the far
+    /// node shares this shard, otherwise into the outbox for delivery at
+    /// the next epoch barrier.
+    fn deliver(
+        &mut self,
+        ctx: &Ctx<'_>,
+        att: &Attachment,
+        at: SimTime,
+        key: EventKey,
+        frame: Frame,
+    ) {
+        if att.far_shard == self.me {
+            let frame = self.frames.alloc(frame);
+            self.queue.push(
+                at,
+                key,
+                Event::FrameArrival {
+                    node: att.far_node,
+                    port: att.far_port,
+                    frame,
+                },
+            );
+        } else {
+            self.handoffs += 1;
+            self.outbox[att.far_shard as usize].push(Xfer {
+                at: at + ctx.xshard_skew,
+                key,
+                node: att.far_node,
+                port: att.far_port,
+                frame,
+            });
+        }
+    }
+}
+
+/// A simulated network of switches, routers, and hosts, partitioned into
+/// one or more independently scheduled shards.
+pub struct Network {
+    seed: u64,
+    nodes: Vec<NodeMeta>,
+    links: Vec<LinkMeta>,
+    shards: Vec<Shard>,
+    next_mac: u64,
+    /// Counter for construction-time plans (`plan_ping`/`plan_traceroute`);
+    /// their event keys use [`EventKey::PLAN_CREATOR`] with this sequence.
+    plan_seq: u64,
+    /// Precomputed `(seed, "router-frame")` key: the per-event router RNG
+    /// is derived once per frame, so the domain-label hash is hoisted out
+    /// of the hot loop.
+    router_key: seed::DomainKey,
+    /// `rp_obs::enabled()` sampled at run start: the event loop is the
+    /// hottest code in the repo, so per-event work reads one bool instead
+    /// of the atomic, and counters flush to the registry once per run.
+    obs_active: bool,
+    obs_flushed_events: u64,
+    obs_flushed_drops: u64,
+    obs_flushed_barriers: u64,
+    obs_flushed_handoffs: u64,
+    /// Cached conservative lookahead: `Some(None)` means "computed: no
+    /// cross-shard links" (windows are unbounded); invalidated by
+    /// [`Network::connect`].
+    lookahead_cache: Option<Option<SimDuration>>,
+    /// Number of epoch barriers executed.
+    barrier_rounds: u64,
+    /// Wall-clock nanoseconds spent inside barriers (obs runs only).
+    barrier_wait_ns: u64,
+    /// Debug-only extra delay on cross-shard deliveries; breaks the
+    /// shard-count invariance on purpose so oracle tests can prove their
+    /// checkers fire. Zero in all real runs.
+    xshard_skew: SimDuration,
 }
 
 impl Network {
-    /// An empty network. All per-device and per-link randomness derives from
-    /// `seed`.
+    /// An empty single-shard network. All per-device and per-link
+    /// randomness derives from `seed`.
     pub fn new(seed: u64) -> Self {
+        Self::with_shards(seed, 1)
+    }
+
+    /// An empty network with `shards` data-plane shards (clamped to at
+    /// least 1). Devices are placed with [`Network::add_switch_on`] and
+    /// friends; results are bit-identical at every shard count as long as
+    /// the construction sequence is the same.
+    pub fn with_shards(seed: u64, shards: usize) -> Self {
+        let n = shards.max(1);
         Network {
             seed,
             nodes: Vec::new(),
             links: Vec::new(),
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
+            shards: (0..n).map(|me| Shard::new(me as u32, n)).collect(),
             next_mac: 1,
-            events_processed: 0,
-            dropped_unconnected: 0,
-            queue_depth_hwm: 0,
+            plan_seq: 0,
+            router_key: seed::domain_key(seed, "router-frame"),
             obs_active: false,
             obs_flushed_events: 0,
             obs_flushed_drops: 0,
-            trace_digest: FNV_OFFSET,
-            frames: FrameArena::new(),
-            router_key: seed::domain_key(seed, "router-frame"),
-            arp_rng: StdRng::seed_from_u64(0),
-            scratch: Vec::new(),
-            faults: None,
+            obs_flushed_barriers: 0,
+            obs_flushed_handoffs: 0,
+            lookahead_cache: None,
+            barrier_rounds: 0,
+            barrier_wait_ns: 0,
+            xshard_skew: SimDuration::ZERO,
         }
     }
 
+    /// Number of data-plane shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
     /// Install a fault injector; every subsequent frame transmission
-    /// consults it. Replaces any previously installed injector.
+    /// consults it. Replaces any previously installed injector. Each shard
+    /// gets its own copy — decision streams are keyed by `(link, dir)`, so
+    /// the copies never interfere and tallies/logs merge exactly.
     pub fn install_faults(&mut self, injector: FaultInjector) {
-        self.faults = Some(injector);
+        let cfg = injector.config().clone();
+        for s in &mut self.shards {
+            s.faults = Some(FaultInjector::new(cfg.clone()));
+        }
     }
 
-    /// Exact tallies of injected faults (all zero without an injector).
+    /// Exact tallies of injected faults, merged across shards (all zero
+    /// without an injector).
     pub fn fault_counts(&self) -> FaultCounts {
-        self.faults
-            .as_ref()
-            .map(FaultInjector::counts)
-            .unwrap_or_default()
+        let mut total = FaultCounts::default();
+        for s in &self.shards {
+            if let Some(inj) = &s.faults {
+                total.merge(&inj.counts());
+            }
+        }
+        total
     }
 
-    /// The injector's replay log (empty without an injector).
-    pub fn fault_log(&self) -> &[FaultEvent] {
-        self.faults.as_ref().map(FaultInjector::log).unwrap_or(&[])
+    /// The injector's replay log in canonical order, merged across shards
+    /// (empty without an injector).
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        FaultInjector::merge_logs(self.shards.iter().filter_map(|s| s.faults.as_ref()))
     }
 
-    fn add_node(&mut self, device: Device) -> NodeId {
+    fn add_node_on(&mut self, shard: usize, device: Device) -> NodeId {
+        assert!(
+            shard < self.shards.len(),
+            "shard {shard} out of range: network has {} shards",
+            self.shards.len()
+        );
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            device,
+        let s = &mut self.shards[shard];
+        let loc = s.devices.len() as u32;
+        s.devices.push(device);
+        s.seqs.push(0);
+        s.rx.push(0);
+        self.nodes.push(NodeMeta {
             ports: Vec::new(),
+            shard: shard as u32,
+            loc,
         });
         id
     }
 
-    /// Add a MAC-learning layer-2 switch.
+    /// Add a MAC-learning layer-2 switch on shard 0.
     pub fn add_switch(&mut self) -> NodeId {
-        self.add_node(Device::Switch(Switch::new()))
+        self.add_switch_on(0)
     }
 
-    /// Add an IP router with the given responder behavior.
+    /// Add a MAC-learning layer-2 switch on the given shard.
+    pub fn add_switch_on(&mut self, shard: usize) -> NodeId {
+        self.add_node_on(shard, Device::Switch(Switch::new()))
+    }
+
+    /// Add an IP router with the given responder behavior on shard 0.
     pub fn add_router(&mut self, behavior: RouterBehavior) -> NodeId {
-        self.add_node(Device::Router(Router::new(behavior)))
+        self.add_router_on(0, behavior)
     }
 
-    /// Add a measurement host. Its ICMP id is derived from the node index.
+    /// Add an IP router with the given responder behavior on the given
+    /// shard.
+    pub fn add_router_on(&mut self, shard: usize, behavior: RouterBehavior) -> NodeId {
+        self.add_node_on(shard, Device::Router(Router::new(behavior)))
+    }
+
+    /// Add a measurement host on shard 0. Its ICMP id is derived from the
+    /// node index.
     pub fn add_host(&mut self) -> NodeId {
+        self.add_host_on(0)
+    }
+
+    /// Add a measurement host on the given shard. Its ICMP id is derived
+    /// from the (global) node index, so placement cannot change it.
+    pub fn add_host_on(&mut self, shard: usize) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.add_node(Device::Host(Host::new(0x4000 | id.0 as u16)))
+        self.add_node_on(shard, Device::Host(Host::new(0x4000 | id.0 as u16)))
     }
 
     /// Allocate a fresh unicast MAC address.
@@ -260,39 +629,60 @@ impl Network {
     }
 
     /// Connect `a` and `b` with a link; returns the allocated port on each
-    /// side. Delay is sampled independently per traversal direction.
+    /// side. Delay is sampled independently per traversal direction, from
+    /// a stream owned by the transmitting side's shard.
     pub fn connect(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> (PortId, PortId) {
         let link_idx = self.links.len() as u32;
-        let rng = if delay.is_deterministic() {
-            None
-        } else {
-            Some(seed::rng(self.seed, "link", link_idx as u64))
+        let seed = self.seed;
+        let deterministic = delay.is_deterministic();
+        self.links.push(LinkMeta { delay, a, b });
+        self.lookahead_cache = None;
+        let (shard_a, shard_b) = (self.nodes[a.index()].shard, self.nodes[b.index()].shard);
+        let dir_state = |shards: &mut Vec<Shard>, shard: u32, dir: u8| {
+            let s = &mut shards[shard as usize];
+            let loc = s.dirs.len() as u32;
+            s.dirs.push(DirState {
+                rng: if deterministic {
+                    None
+                } else {
+                    Some(seed::rng2(seed, "link", link_idx as u64, dir as u64))
+                },
+                busy_until: SimTime::ZERO,
+            });
+            loc
         };
-        self.links.push(Link {
-            delay,
-            rng,
-            busy_until: [SimTime::ZERO; 2],
-        });
+        // Direction 0 carries a→b (transmitter a), direction 1 carries b→a.
+        let a_dir_loc = dir_state(&mut self.shards, shard_a, 0);
+        let b_dir_loc = dir_state(&mut self.shards, shard_b, 1);
         let pa = PortId(self.nodes[a.index()].ports.len() as u16);
         let pb = PortId(self.nodes[b.index()].ports.len() as u16);
         self.nodes[a.index()].ports.push(Attachment {
             far_node: b,
             far_port: pb,
+            far_shard: shard_b,
             link: link_idx,
             dir: 0,
+            dir_loc: a_dir_loc,
         });
         self.nodes[b.index()].ports.push(Attachment {
             far_node: a,
             far_port: pa,
+            far_shard: shard_a,
             link: link_idx,
             dir: 1,
+            dir_loc: b_dir_loc,
         });
         (pa, pb)
     }
 
+    fn device_mut(&mut self, id: NodeId) -> &mut Device {
+        let meta = &self.nodes[id.index()];
+        &mut self.shards[meta.shard as usize].devices[meta.loc as usize]
+    }
+
     /// Mutable access to a router (panics if `id` is not a router).
     pub fn router_mut(&mut self, id: NodeId) -> &mut Router {
-        match &mut self.nodes[id.index()].device {
+        match self.device_mut(id) {
             Device::Router(r) => r,
             other => panic!("{id} is not a router: {other:?}"),
         }
@@ -300,7 +690,8 @@ impl Network {
 
     /// Shared access to a host (panics if `id` is not a host).
     pub fn host(&self, id: NodeId) -> &Host {
-        match &self.nodes[id.index()].device {
+        let meta = &self.nodes[id.index()];
+        match &self.shards[meta.shard as usize].devices[meta.loc as usize] {
             Device::Host(h) => h,
             other => panic!("{id} is not a host: {other:?}"),
         }
@@ -308,7 +699,7 @@ impl Network {
 
     /// Mutable access to a host (panics if `id` is not a host).
     pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
-        match &mut self.nodes[id.index()].device {
+        match self.device_mut(id) {
             Device::Host(h) => h,
             other => panic!("{id} is not a host: {other:?}"),
         }
@@ -328,10 +719,24 @@ impl Network {
         self.router_mut(router).bind(port, ip, mac);
     }
 
+    /// Mint the key for a construction-time plan event.
+    fn plan_key(&mut self) -> EventKey {
+        let seq = self.plan_seq;
+        self.plan_seq += 1;
+        EventKey {
+            creator: EventKey::PLAN_CREATOR,
+            seq,
+        }
+    }
+
     /// Plan a ping from `host` to `target` at absolute time `at`.
     pub fn plan_ping(&mut self, host: NodeId, at: SimTime, target: Ipv4Addr) {
         let token = self.host_mut(host).register_plan(at, target);
-        self.queue.push(at, Event::Timer { node: host, token });
+        let key = self.plan_key();
+        let shard = self.nodes[host.index()].shard as usize;
+        self.shards[shard]
+            .queue
+            .push(at, key, Event::Timer { node: host, token });
     }
 
     /// Plan a traceroute: one probe per hop TTL `1..=max_ttl`, one second
@@ -341,216 +746,260 @@ impl Network {
         for hop in 1..=max_ttl {
             let t = at + SimDuration::from_secs(hop as u64 - 1);
             let token = self.host_mut(host).register_probe(t, target, hop);
-            self.queue.push(t, Event::Timer { node: host, token });
+            let key = self.plan_key();
+            let shard = self.nodes[host.index()].shard as usize;
+            self.shards[shard]
+                .queue
+                .push(t, key, Event::Timer { node: host, token });
         }
     }
 
-    /// Current simulated time.
+    /// Current simulated time: the furthest any shard has advanced.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.shards
+            .iter()
+            .map(|s| s.now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
-    /// Total events processed so far.
+    /// Total events processed so far, across all shards.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
     }
 
     /// Frames dropped so far at unconnected ports.
     pub fn frames_dropped_unconnected(&self) -> u64 {
-        self.dropped_unconnected
+        self.shards.iter().map(|s| s.dropped_unconnected).sum()
     }
 
     /// Largest per-link transmit-queue depth observed (0 unless a run
     /// executed with observability enabled).
     pub fn queue_depth_hwm(&self) -> u64 {
-        self.queue_depth_hwm
+        self.shards
+            .iter()
+            .map(|s| s.queue_depth_hwm)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// FNV-1a digest over `(time, node, kind)` of the first
-    /// [`TRACE_DIGEST_EVENTS`] dispatched events. Two runs that dispatch
-    /// the same events in the same order — the bit-reproducibility
-    /// contract — report the same digest regardless of how the event queue
-    /// or frame storage is implemented.
+    /// Frames that crossed a shard boundary so far.
+    pub fn cross_shard_handoffs(&self) -> u64 {
+        self.shards.iter().map(|s| s.handoffs).sum()
+    }
+
+    /// Epoch barriers executed so far.
+    pub fn barrier_rounds(&self) -> u64 {
+        self.barrier_rounds
+    }
+
+    /// Commutative digest over `(time, node, kind)` of every dispatched
+    /// event: each event contributes a mixed hash via wrapping addition,
+    /// so the merged value is independent of dispatch interleaving — and
+    /// therefore identical at every shard and thread count. Two runs that
+    /// dispatch the same events at the same times — the bit-reproducibility
+    /// contract — report the same digest regardless of how the event queue,
+    /// frame storage, or shard layout is implemented.
     pub fn trace_digest(&self) -> u64 {
-        self.trace_digest
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.digest))
     }
 
-    /// Push the run's event/drop deltas and queue-depth high-water mark to
-    /// the process-wide metrics registry.
+    /// Debug/test hook: delay every cross-shard delivery by `skew`. This
+    /// deliberately breaks the shard-count-invariance contract (a
+    /// multi-shard run no longer matches `--shards 1`), so metamorphic
+    /// broken-oracle tests can prove their checkers actually fire. Never
+    /// call this outside tests.
+    #[doc(hidden)]
+    pub fn debug_skew_cross_shard(&mut self, skew: SimDuration) {
+        self.xshard_skew = skew;
+    }
+
+    /// Conservative lookahead: the minimum one-way base delay over links
+    /// whose endpoints live on different shards, or `None` when no link
+    /// crosses a shard boundary (windows are then unbounded — the
+    /// single-shard case). Panics on a zero-delay cross-shard link, which
+    /// would force zero-length windows.
+    fn lookahead(&mut self) -> Option<SimDuration> {
+        if let Some(cached) = self.lookahead_cache {
+            return cached;
+        }
+        let mut min: Option<SimDuration> = None;
+        for lm in &self.links {
+            let (sa, sb) = (
+                self.nodes[lm.a.index()].shard,
+                self.nodes[lm.b.index()].shard,
+            );
+            if sa == sb {
+                continue;
+            }
+            let l = lm.delay.min_one_way();
+            assert!(
+                l > SimDuration::ZERO,
+                "cross-shard link between {} and {} has zero base delay: \
+                 the epoch-barrier scheduler needs positive lookahead on \
+                 every link that crosses a shard boundary — keep such links \
+                 inside one shard or give them a positive base delay",
+                lm.a,
+                lm.b
+            );
+            min = Some(match min {
+                Some(m) => m.min(l),
+                None => l,
+            });
+        }
+        self.lookahead_cache = Some(min);
+        min
+    }
+
+    /// Drain one window (all events strictly before `horizon`) on every
+    /// shard, in parallel when it pays.
+    fn run_window(&mut self, horizon: SimTime) {
+        let ctx = Ctx {
+            nodes: &self.nodes,
+            links: &self.links,
+            router_key: self.router_key,
+            obs_active: self.obs_active,
+            xshard_skew: self.xshard_skew,
+        };
+        let pending: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        if self.shards.len() > 1 && pending >= PAR_WINDOW_EVENTS && rayon::current_num_threads() > 1
+        {
+            // Shards move through the pool by value: the vendored rayon
+            // stand-in has no mutable borrows, and moving keeps every
+            // worker's state provably disjoint. Results are bit-identical
+            // to the serial branch — the split is pure policy.
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = shards
+                .into_par_iter()
+                .map(|mut s| {
+                    s.drain_window(&ctx, horizon);
+                    s
+                })
+                .collect();
+        } else {
+            for s in &mut self.shards {
+                s.drain_window(&ctx, horizon);
+            }
+        }
+    }
+
+    /// Deliver buffered cross-shard frames into their destination queues
+    /// and arenas. Runs between windows — the epoch barrier.
+    fn deliver_handoffs(&mut self) {
+        if self.shards.len() <= 1 {
+            return;
+        }
+        let t0 = self.obs_active.then(std::time::Instant::now);
+        self.barrier_rounds += 1;
+        let n = self.shards.len();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst || self.shards[src].outbox[dst].is_empty() {
+                    continue;
+                }
+                let xs = std::mem::take(&mut self.shards[src].outbox[dst]);
+                let d = &mut self.shards[dst];
+                for x in xs {
+                    let frame = d.frames.alloc(x.frame);
+                    d.queue.push(
+                        x.at,
+                        x.key,
+                        Event::FrameArrival {
+                            node: x.node,
+                            port: x.port,
+                            frame,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(t0) = t0 {
+            self.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Push the run's event/drop deltas, queue-depth high-water mark, and
+    /// (multi-shard runs) barrier statistics to the process-wide metrics
+    /// registry.
     fn flush_obs(&mut self) {
         if !self.obs_active {
             return;
         }
-        rp_obs::counter!("netsim.sim.events_processed")
-            .add(self.events_processed - self.obs_flushed_events);
-        self.obs_flushed_events = self.events_processed;
+        let events = self.events_processed();
+        rp_obs::counter!("netsim.sim.events_processed").add(events - self.obs_flushed_events);
+        self.obs_flushed_events = events;
+        let drops = self.frames_dropped_unconnected();
         rp_obs::counter!("netsim.sim.frames_dropped_unconnected")
-            .add(self.dropped_unconnected - self.obs_flushed_drops);
-        self.obs_flushed_drops = self.dropped_unconnected;
-        rp_obs::gauge!("netsim.link.queue_depth_hwm").record_max(self.queue_depth_hwm);
+            .add(drops - self.obs_flushed_drops);
+        self.obs_flushed_drops = drops;
+        rp_obs::gauge!("netsim.link.queue_depth_hwm").record_max(self.queue_depth_hwm());
+        if self.shards.len() > 1 {
+            rp_obs::gauge!("netsim.shard.count").record_max(self.shards.len() as u64);
+            rp_obs::counter!("netsim.shard.barriers")
+                .add(self.barrier_rounds - self.obs_flushed_barriers);
+            self.obs_flushed_barriers = self.barrier_rounds;
+            let handoffs = self.cross_shard_handoffs();
+            rp_obs::counter!("netsim.shard.handoffs").add(handoffs - self.obs_flushed_handoffs);
+            self.obs_flushed_handoffs = handoffs;
+            rp_obs::gauge!("netsim.shard.events_max").record_max(
+                self.shards
+                    .iter()
+                    .map(|s| s.events_processed)
+                    .max()
+                    .unwrap_or(0),
+            );
+            rp_obs::gauge!("netsim.shard.barrier_wait_ns").record_max(self.barrier_wait_ns);
+        }
+    }
+
+    /// The bounded-lag event loop: repeatedly pick the global minimum
+    /// pending time, drain every shard up to `t_min + lookahead`, then
+    /// exchange cross-shard frames at the barrier.
+    fn drain(&mut self, deadline: Option<SimTime>) {
+        self.obs_active = rp_obs::enabled();
+        let _sp = rp_obs::span("netsim.run");
+        let lookahead = self.lookahead();
+        loop {
+            let t_min = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| s.queue.peek_time())
+                .min();
+            let Some(t_min) = t_min else { break };
+            if deadline.is_some_and(|d| t_min > d) {
+                break;
+            }
+            // Window horizon is exclusive. With cross-shard links the
+            // lookahead is positive (enforced above), so the window always
+            // contains the t_min event: progress is guaranteed.
+            let mut horizon = match lookahead {
+                Some(l) => SimTime(t_min.nanos().saturating_add(l.nanos())),
+                None => SimTime(u64::MAX),
+            };
+            if let Some(d) = deadline {
+                horizon = horizon.min(SimTime(d.nanos().saturating_add(1)));
+            }
+            self.run_window(horizon);
+            self.deliver_handoffs();
+        }
+        if let Some(d) = deadline {
+            for s in &mut self.shards {
+                s.now = s.now.max(d);
+            }
+        }
+        self.flush_obs();
     }
 
     /// Run until the queue drains or the next event lies beyond `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        self.obs_active = rp_obs::enabled();
-        let _sp = rp_obs::span("netsim.run");
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (at, event) = self.queue.pop().expect("peeked");
-            self.now = at;
-            self.dispatch(event);
-        }
-        self.now = self.now.max(deadline);
-        self.flush_obs();
+        self.drain(Some(deadline));
     }
 
     /// Run until no events remain.
     pub fn run_to_completion(&mut self) {
-        self.obs_active = rp_obs::enabled();
-        let _sp = rp_obs::span("netsim.run");
-        while let Some((at, event)) = self.queue.pop() {
-            self.now = at;
-            self.dispatch(event);
-        }
-        self.flush_obs();
-    }
-
-    fn dispatch(&mut self, event: Event) {
-        self.events_processed += 1;
-        if self.events_processed <= TRACE_DIGEST_EVENTS {
-            let (node, kind) = match &event {
-                Event::FrameArrival { node, .. } => (node.0, 0u64),
-                Event::Timer { node, .. } => (node.0, 1u64),
-            };
-            let h = fnv1a_u64(self.trace_digest, self.now.nanos());
-            let h = fnv1a_u64(h, u64::from(node));
-            self.trace_digest = fnv1a_u64(h, kind);
-        }
-        let mut actions = std::mem::take(&mut self.scratch);
-        let node_id = match event {
-            Event::FrameArrival { node, port, frame } => {
-                // Copy the frame out of the arena and release its slot
-                // immediately: delivery ends the in-flight lifetime.
-                let frame = self.frames.take(frame);
-                let n_ports = self.nodes[node.index()].ports.len() as u16;
-                let now = self.now;
-                match &mut self.nodes[node.index()].device {
-                    Device::Switch(sw) => sw.on_frame_into(port, n_ports, frame, &mut actions),
-                    Device::Router(r) => {
-                        if matches!(frame.payload, Payload::Arp(_)) {
-                            // The ARP arms never draw, so the per-event
-                            // stream need not be derived at all: an
-                            // untouched generator leaves no trace.
-                            r.on_frame_into(now, port, frame, &mut self.arp_rng, &mut actions);
-                            debug_assert_eq!(
-                                self.arp_rng,
-                                StdRng::seed_from_u64(0),
-                                "router ARP handling drew from its RNG; \
-                                 the ARP fast path is no longer sound"
-                            );
-                        } else {
-                            // Derive a per-event RNG from (node, event
-                            // count) so device behavior stays deterministic
-                            // and independent of unrelated devices.
-                            let mut rng = seed::rng_from_key(
-                                self.router_key,
-                                (node.0 as u64) << 40 | self.events_processed,
-                            );
-                            r.on_frame_into(now, port, frame, &mut rng, &mut actions);
-                        }
-                    }
-                    Device::Host(h) => h.on_frame_into(now, port, frame, &mut actions),
-                }
-                node
-            }
-            Event::Timer { node, token } => {
-                let now = self.now;
-                if let Device::Host(h) = &mut self.nodes[node.index()].device {
-                    h.on_timer_into(now, token, &mut actions);
-                }
-                node
-            }
-        };
-        for action in actions.drain(..) {
-            match action {
-                Action::Send {
-                    port,
-                    mut frame,
-                    after,
-                } => {
-                    let Some(att) = self.nodes[node_id.index()].ports.get(port.index()).copied()
-                    else {
-                        self.dropped_unconnected += 1;
-                        continue; // unconnected port: drop
-                    };
-                    let fx = match self.faults.as_mut() {
-                        Some(inj) => inj.on_transmit(self.now, att.link, &mut frame),
-                        None => TxFaults::default(),
-                    };
-                    if fx.drop {
-                        continue; // injected loss: the frame never transmits
-                    }
-                    let ready = self.now + after;
-                    let link = &mut self.links[att.link as usize];
-                    // Finite-bandwidth links serialize frames through a
-                    // per-direction FIFO: transmission starts when both the
-                    // frame and the line are ready.
-                    let tx_time = link.delay.serialization(frame.wire_size());
-                    let dir = att.dir as usize;
-                    let start = ready.max(link.busy_until[dir]);
-                    if self.obs_active && (self.events_processed & 63) == 0 {
-                        // Queue depth behind this frame, in frames: backlog
-                        // wait divided by one serialization time, plus the
-                        // frame itself. Sampled on power-of-two event
-                        // counts so the gauge costs nothing in steady
-                        // state. Pure read — never feeds back into the
-                        // simulation.
-                        let tx_ns = tx_time.nanos();
-                        if tx_ns > 0 && start > ready {
-                            let depth = (start.nanos() - ready.nanos()) / tx_ns + 1;
-                            self.queue_depth_hwm = self.queue_depth_hwm.max(depth);
-                        }
-                    }
-                    let tx_done = start + tx_time;
-                    link.busy_until[dir] = tx_done;
-                    let delay = match link.rng.as_mut() {
-                        Some(rng) => link.delay.sample(start, rng),
-                        None => link.delay.sample_deterministic(start),
-                    };
-                    let arrival = tx_done + delay + fx.extra_delay;
-                    if fx.duplicate {
-                        self.queue.push(
-                            arrival + DUPLICATE_GAP,
-                            Event::FrameArrival {
-                                node: att.far_node,
-                                port: att.far_port,
-                                frame: self.frames.alloc(frame),
-                            },
-                        );
-                    }
-                    self.queue.push(
-                        arrival,
-                        Event::FrameArrival {
-                            node: att.far_node,
-                            port: att.far_port,
-                            frame: self.frames.alloc(frame),
-                        },
-                    );
-                }
-                Action::Schedule { at, token } => {
-                    self.queue.push(
-                        at,
-                        Event::Timer {
-                            node: node_id,
-                            token,
-                        },
-                    );
-                }
-            }
-        }
-        self.scratch = actions;
+        self.drain(None);
     }
 }
 
@@ -574,7 +1023,17 @@ mod tests {
     }
 
     fn figure1(seed: u64) -> Figure1 {
-        let mut net = Network::new(seed);
+        figure1_sharded(seed, 1)
+    }
+
+    /// Same scene at any shard count: with more than one shard the remote
+    /// provider chain (both provider switches and the remote router) lives
+    /// on shard 1, coupled to shard 0 only through the fabric↔prov_ixp
+    /// link. The construction sequence is identical at every shard count,
+    /// so all observables must be too.
+    fn figure1_sharded(seed: u64, shards: usize) -> Figure1 {
+        let mut net = Network::with_shards(seed, shards);
+        let far = shards.saturating_sub(1).min(1);
         let fabric = net.add_switch();
 
         // LG server in the IXP subnet.
@@ -592,14 +1051,17 @@ mod tests {
 
         // Remote member: provider switch at the IXP, long-haul span,
         // provider switch at the member metro, member access link.
-        let prov_ixp = net.add_switch();
-        let prov_far = net.add_switch();
+        let prov_ixp = net.add_switch_on(far);
+        let prov_far = net.add_switch_on(far);
         net.connect(fabric, prov_ixp, DelayModel::with_one_way_ms(0.05));
         net.connect(prov_ixp, prov_far, DelayModel::with_one_way_ms(12.0)); // ~2,400 km
-        let remote = net.add_router(RouterBehavior {
-            initial_ttl: 64,
-            ..Default::default()
-        });
+        let remote = net.add_router_on(
+            far,
+            RouterBehavior {
+                initial_ttl: 64,
+                ..Default::default()
+            },
+        );
         let (_, rp) = net.connect(prov_far, remote, DelayModel::with_one_way_ms(0.3));
         net.bind_router(remote, rp, ip("10.0.0.20"));
 
@@ -662,6 +1124,74 @@ mod tests {
             (24.0..30.0).contains(&ms),
             "remote RTT {ms} ms reflects geography"
         );
+    }
+
+    /// The shard-equivalence contract in miniature: the same scene split
+    /// across two shards (remote chain on shard 1, everything else on
+    /// shard 0) must reproduce the single-shard run bit for bit — same
+    /// outcomes, same event count, same trace digest.
+    #[test]
+    fn sharded_run_matches_single_shard_bit_for_bit() {
+        let run = |shards: usize| {
+            let mut f = figure1_sharded(42, shards);
+            ping_n(&mut f.net, f.lg, f.direct_ip, 6);
+            ping_n(&mut f.net, f.lg, f.remote_ip, 6);
+            f.net.run_to_completion();
+            (
+                f.net.host(f.lg).outcomes().to_vec(),
+                f.net.events_processed(),
+                f.net.trace_digest(),
+                f.net.cross_shard_handoffs(),
+            )
+        };
+        let (out1, ev1, dig1, ho1) = run(1);
+        let (out2, ev2, dig2, ho2) = run(2);
+        assert_eq!(out1, out2, "outcomes must not depend on the shard count");
+        assert_eq!(ev1, ev2, "event counts must not depend on the shard count");
+        assert_eq!(
+            dig1, dig2,
+            "trace digests must not depend on the shard count"
+        );
+        assert_eq!(ho1, 0, "one shard can have no handoffs");
+        assert!(ho2 > 0, "the remote chain must actually cross shards");
+    }
+
+    /// The broken-oracle hook: skewing cross-shard deliveries must change
+    /// observables, proving the equivalence assertions above have teeth.
+    #[test]
+    fn cross_shard_skew_breaks_equivalence() {
+        let run = |skew_us: u64| {
+            let mut f = figure1_sharded(42, 2);
+            f.net
+                .debug_skew_cross_shard(SimDuration::from_micros(skew_us));
+            ping_n(&mut f.net, f.lg, f.remote_ip, 6);
+            f.net.run_to_completion();
+            (f.net.host(f.lg).outcomes().to_vec(), f.net.trace_digest())
+        };
+        let (out_clean, dig_clean) = run(0);
+        let (out_skewed, dig_skewed) = run(500);
+        assert_ne!(dig_clean, dig_skewed, "skew must perturb the trace");
+        assert_ne!(out_clean, out_skewed, "skew must perturb RTTs");
+    }
+
+    /// A zero-delay link may not cross shards: the scheduler needs positive
+    /// lookahead, and collapsing windows silently would be worse.
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_delay_cross_shard_link_panics() {
+        let mut net = Network::with_shards(7, 2);
+        let a = net.add_switch_on(0);
+        let b = net.add_switch_on(1);
+        net.connect(a, b, DelayModel::ideal(SimDuration::ZERO));
+        let lg = net.add_host_on(0);
+        let (_, lgp) = net.connect(a, lg, DelayModel::with_one_way_ms(0.05));
+        net.bind_host(lg, lgp, ip("10.0.0.1"));
+        net.plan_ping(
+            lg,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            ip("10.0.0.2"),
+        );
+        net.run_to_completion();
     }
 
     #[test]
@@ -888,8 +1418,8 @@ mod tests {
     #[test]
     fn fault_injection_replays_exactly_and_degrades_the_run() {
         use crate::fault::{FaultConfig, FaultInjector};
-        let run = |fault_seed: u64| {
-            let mut f = figure1(21);
+        let run = |fault_seed: u64, shards: usize| {
+            let mut f = figure1_sharded(21, shards);
             f.net.install_faults(FaultInjector::new(FaultConfig {
                 probe_loss: 0.3,
                 reply_duplication: 0.2,
@@ -902,10 +1432,10 @@ mod tests {
             ping_n(&mut f.net, f.lg, f.direct_ip, 30);
             f.net.run_to_completion();
             let outcomes = f.net.host(f.lg).outcomes().to_vec();
-            (outcomes, f.net.fault_counts(), f.net.fault_log().to_vec())
+            (outcomes, f.net.fault_counts(), f.net.fault_log())
         };
-        let (a_out, a_counts, a_log) = run(7);
-        let (b_out, b_counts, b_log) = run(7);
+        let (a_out, a_counts, a_log) = run(7, 1);
+        let (b_out, b_counts, b_log) = run(7, 1);
         assert_eq!(a_out, b_out, "same fault seed must replay bit for bit");
         assert_eq!(a_counts, b_counts);
         assert_eq!(a_log, b_log);
@@ -914,7 +1444,14 @@ mod tests {
         let lost = a_out.iter().filter(|o| o.reply.is_none()).count();
         assert!(lost > 0, "probe loss must cost replies");
 
-        let (c_out, c_counts, _) = run(8);
+        // Fault decisions key on (link, dir), so the shard layout cannot
+        // change what fires — counts and merged log included.
+        let (s_out, s_counts, s_log) = run(7, 2);
+        assert_eq!(a_out, s_out, "fault outcomes must survive sharding");
+        assert_eq!(a_counts, s_counts);
+        assert_eq!(a_log, s_log);
+
+        let (c_out, c_counts, _) = run(8, 1);
         assert!(
             a_out != c_out || a_counts != c_counts,
             "different fault seeds must differ somewhere"
@@ -1001,5 +1538,25 @@ mod tests {
             .filter(|o| o.reply.is_some())
             .count();
         assert_eq!(answered, 5);
+    }
+
+    /// Deadlines compose with sharding: pausing at a deadline and resuming
+    /// must land exactly where an uninterrupted run does.
+    #[test]
+    fn sharded_run_until_resumes_exactly() {
+        let mut f = figure1_sharded(5, 2);
+        ping_n(&mut f.net, f.lg, f.remote_ip, 5);
+        f.net
+            .run_until(SimTime::ZERO + SimDuration::from_millis(2_500));
+        f.net.run_to_completion();
+        let mut g = figure1_sharded(5, 2);
+        ping_n(&mut g.net, g.lg, g.remote_ip, 5);
+        g.net.run_to_completion();
+        assert_eq!(
+            f.net.host(f.lg).outcomes(),
+            g.net.host(g.lg).outcomes(),
+            "pause/resume must not perturb the run"
+        );
+        assert_eq!(f.net.trace_digest(), g.net.trace_digest());
     }
 }

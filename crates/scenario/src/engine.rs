@@ -41,6 +41,11 @@ pub struct SweepConfig {
     pub confidence: f64,
     /// Bootstrap resamples per (cell, metric) interval.
     pub resamples: usize,
+    /// Data-plane shards per simulated IXP network (0 = one per fabric
+    /// site, capped at the available cores). Pure performance policy:
+    /// sweep results are bit-identical at every value, so the knob never
+    /// appears in the output JSON.
+    pub shards: usize,
 }
 
 impl SweepConfig {
@@ -52,6 +57,7 @@ impl SweepConfig {
             replicates: 8,
             confidence: 0.95,
             resamples: 400,
+            shards: 0,
         }
     }
 }
@@ -105,7 +111,13 @@ pub fn run_sweep(spec: &ScenarioSpec, cfg: &SweepConfig) -> Value {
             // Memoized build + probe: tasks that revisit a (config,
             // campaign) pair — e.g. the baseline group across presets run
             // in one process — share the expensive work.
-            let run = PreparedRun::probe_cached(&world_cfg, &Campaign::default_paper());
+            let run = PreparedRun::probe_cached(
+                &world_cfg,
+                &Campaign {
+                    shards: cfg.shards,
+                    ..Campaign::default_paper()
+                },
+            );
             let out: Vec<(usize, u64, RunMetrics)> = members
                 .iter()
                 .map(|&ci| (ci, r, RunMetrics::collect(&run, &cells[ci].method_params())))

@@ -16,6 +16,7 @@ use rayon::prelude::*;
 use remote_peering::campaign::Campaign;
 use remote_peering::classify::RttRange;
 use remote_peering::filters::{self, AnalyzedInterface, Discard, FilterConfig};
+use remote_peering::metrics::{MethodParams, PreparedRun, RunMetrics};
 use remote_peering::offload::{OffloadStudy, PeerGroup};
 use remote_peering::probe::InterfaceSamples;
 use remote_peering::world::{World, WorldConfig};
@@ -41,6 +42,12 @@ pub struct CheckConfig {
     pub fuzz_iters: u64,
     /// Build the full paper-scale world instead of the test-scale one.
     pub paper_scale: bool,
+    /// Data-plane shards per simulated IXP network (0 = one per fabric
+    /// site, capped at the available cores). Deliberately absent from the
+    /// report JSON: the shard-partition invariant below asserts it cannot
+    /// change a single byte of the outcome, so recording it would turn a
+    /// performance policy into spurious report churn.
+    pub shards: usize,
 }
 
 impl Default for CheckConfig {
@@ -50,6 +57,7 @@ impl Default for CheckConfig {
             fault_trials: 200,
             fuzz_iters: 500,
             paper_scale: false,
+            shards: 0,
         }
     }
 }
@@ -260,11 +268,11 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
         let _sp = rp_obs::span("testkit.check.clean");
         World::build_cached(&world_cfg)
     };
-    let clean = attach_entries(
-        &clean_world,
-        Campaign::default_paper().probe_all(&clean_world),
-        &fcfg,
-    );
+    let clean_campaign = Campaign {
+        shards: cfg.shards,
+        ..Campaign::default_paper()
+    };
+    let clean = attach_entries(&clean_world, clean_campaign.probe_all(&clean_world), &fcfg);
 
     // Faulted arm: same config, degraded scene, fault-injecting campaign.
     let plan = FaultPlan::standard(
@@ -276,7 +284,10 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
     // pristine world in the probe memo.
     let mut faulted_world = (*clean_world).clone();
     let scene = plan.degrade_scene(&mut faulted_world);
-    let campaign = plan.campaign();
+    let campaign = Campaign {
+        shards: cfg.shards,
+        ..plan.campaign()
+    };
     let results: Vec<((IxpId, Vec<InterfaceSamples>), FaultCounts)> = {
         let _sp = rp_obs::span("testkit.check.faulted");
         faulted_world
@@ -347,6 +358,23 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
 
         // Offload monotonicity on the (degraded) world.
         offload_invariant(&mut h, &mut faulted_world);
+
+        // Shard-partition invariance on the clean world: re-probe at
+        // explicit shard counts and demand bit-identical run metrics
+        // against the single-queue reference. This is the end-to-end
+        // form of the netsim epoch-barrier contract — every metric the
+        // sweeps track, not just the event trace.
+        let shard_metrics = |shards: usize| -> Vec<(&'static str, f64)> {
+            let campaign = Campaign {
+                shards,
+                ..Campaign::default_paper()
+            };
+            let run = PreparedRun::probe((*clean_world).clone(), &campaign);
+            RunMetrics::collect(&run, &MethodParams::default())
+                .named()
+                .to_vec()
+        };
+        invariants::shard_partition_invariant(&mut h, &shard_metrics, &[2, 4]);
 
         // Econ scale invariance at the example point and seeded nearby ones.
         let mut rng = seed::rng(cfg.seed, "testkit-econ", 0);
@@ -435,6 +463,7 @@ mod tests {
             fault_trials: 24,
             fuzz_iters: 40,
             paper_scale: false,
+            shards: 0,
         }
     }
 

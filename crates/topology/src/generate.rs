@@ -49,6 +49,14 @@ pub struct TopologyConfig {
     /// much traffic peering can ever offload (the reason the paper's
     /// maximal offload is ~25–33%, not ~100%).
     pub stub_tier1_prob: f64,
+    /// Uniform multiplier on every AS-class count except the tier-1
+    /// clique (which is structural), and on the total address space.
+    /// `10.0` builds a ten-times-larger Internet — and, with
+    /// `SceneConfig::scale` raised to match, ten-times-larger IXP member
+    /// lists — which is how `repro bench` constructs its sharded-world
+    /// workload. `1.0` reproduces the configured counts exactly.
+    #[serde(default)]
+    pub world_scale: f64,
 }
 
 impl TopologyConfig {
@@ -70,6 +78,7 @@ impl TopologyConfig {
             multi_asn_org_fraction: 0.06,
             transit_peering_prob: 0.004,
             stub_tier1_prob: 0.55,
+            world_scale: 1.0,
         }
     }
 
@@ -90,19 +99,50 @@ impl TopologyConfig {
             multi_asn_org_fraction: 0.06,
             transit_peering_prob: 0.02,
             stub_tier1_prob: 0.30,
+            world_scale: 1.0,
         }
     }
 
-    /// Total number of ASes this config will generate.
+    /// The configured counts with [`TopologyConfig::world_scale`] applied:
+    /// a concrete config (`world_scale` folded back to 1) that the
+    /// generator and [`TopologyConfig::total_ases`] agree on. The tier-1
+    /// clique is left alone — it is the structural apex, not a population.
+    fn resolved(&self) -> TopologyConfig {
+        assert!(
+            self.world_scale > 0.0 && self.world_scale.is_finite(),
+            "world_scale must be a positive finite multiplier, got {}",
+            self.world_scale
+        );
+        if self.world_scale == 1.0 {
+            return self.clone();
+        }
+        let scale = |n: usize| ((n as f64) * self.world_scale).round().max(1.0) as usize;
+        TopologyConfig {
+            n_transit: scale(self.n_transit),
+            n_access: scale(self.n_access),
+            n_content: scale(self.n_content),
+            n_cdn: scale(self.n_cdn),
+            n_hosting: scale(self.n_hosting),
+            n_nren: scale(self.n_nren),
+            n_enterprise: scale(self.n_enterprise),
+            total_address_space: ((self.total_address_space as f64) * self.world_scale) as u64,
+            world_scale: 1.0,
+            ..self.clone()
+        }
+    }
+
+    /// Total number of ASes this config will generate (`world_scale`
+    /// included).
     pub fn total_ases(&self) -> usize {
-        self.n_tier1
-            + self.n_transit
-            + self.n_access
-            + self.n_content
-            + self.n_cdn
-            + self.n_hosting
-            + self.n_nren
-            + self.n_enterprise
+        let cfg = self.resolved();
+        cfg.n_tier1
+            + cfg.n_transit
+            + cfg.n_access
+            + cfg.n_content
+            + cfg.n_cdn
+            + cfg.n_hosting
+            + cfg.n_nren
+            + cfg.n_enterprise
     }
 }
 
@@ -157,6 +197,7 @@ fn address_scale(kind: AsType) -> f64 {
 /// structurally impossible (zero tier-1s with nonzero stubs).
 pub fn generate(cfg: &TopologyConfig) -> Topology {
     let _sp = rp_obs::span("topology.generate");
+    let cfg = &cfg.resolved();
     assert!(cfg.n_tier1 >= 1, "need at least one tier-1");
     let mut rng = seed::rng(cfg.seed, "topology", 0);
 
@@ -593,6 +634,36 @@ mod tests {
         assert!(multi > 0);
         // And the overwhelming majority stay single-ASN.
         assert!(multi * 5 < topo.orgs.len());
+    }
+
+    #[test]
+    fn world_scale_multiplies_member_classes_not_the_clique() {
+        let base = TopologyConfig::test_scale(11);
+        let scaled = TopologyConfig {
+            world_scale: 10.0,
+            ..TopologyConfig::test_scale(11)
+        };
+        // total_ases and the generator agree on the scaled counts.
+        let topo = generate(&scaled);
+        assert!(topo.validate().is_empty(), "{:?}", topo.validate());
+        assert_eq!(topo.len(), scaled.total_ases());
+        // Member classes grow tenfold; the tier-1 clique stays structural.
+        let count = |t: &Topology, kind: AsType| t.of_type(kind).count();
+        let base_topo = generate(&base);
+        assert_eq!(
+            count(&topo, AsType::Tier1),
+            count(&base_topo, AsType::Tier1)
+        );
+        assert_eq!(
+            count(&topo, AsType::Access),
+            10 * count(&base_topo, AsType::Access)
+        );
+        assert_eq!(
+            count(&topo, AsType::Content),
+            10 * count(&base_topo, AsType::Content)
+        );
+        // world_scale 1.0 is exactly the unscaled config.
+        assert_eq!(base.total_ases(), base_topo.len());
     }
 
     #[test]
