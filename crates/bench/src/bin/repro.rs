@@ -75,6 +75,16 @@ struct Args {
     /// `Some(None)` = `--report` with the default path under `--out`.
     report: Option<Option<PathBuf>>,
     trace: bool,
+    /// `--trace-json`: stream span/metric events to a JSONL file.
+    trace_json: Option<PathBuf>,
+    /// `--trace-chrome`: write a Chrome trace-event file (Perfetto-loadable).
+    trace_chrome: Option<PathBuf>,
+    /// `--compare` baseline file for `bench` (raw same-host comparison).
+    compare: Option<PathBuf>,
+    /// `--warn-only`: report `--compare` regressions without failing.
+    warn_only: bool,
+    /// Experiment following the `profile` subcommand.
+    profile_target: Option<String>,
     /// Spec file or preset name following the `sweep` subcommand.
     sweep_spec: Option<String>,
     /// `--replicates` override for `sweep` (default: the spec's own).
@@ -100,7 +110,8 @@ fn usage_text() -> String {
          \x20            [--threads N] [--report [PATH]] [--trace]\n\
          \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\
          \x20      repro check [--faults N] [--fuzz N] [other flags]\n\
-         \x20      repro bench [--json PATH] [--quick] [other flags]\n\nexperiments:\n",
+         \x20      repro bench [--json PATH] [--quick] [--compare OLD.json] [other flags]\n\
+         \x20      repro profile <EXPERIMENT> [other flags]\n\nexperiments:\n",
     );
     for chunk in EXPERIMENTS.chunks(8) {
         s.push_str("  ");
@@ -124,7 +135,13 @@ fn usage_text() -> String {
          \x20 --quick           bench: single repetition (CI smoke run)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
-         \x20 --trace           print the span tree to stderr\n",
+         \x20 --trace           print the span tree to stderr\n\
+         \x20 --trace-json P    stream span/metric events to a JSONL file\n\
+         \x20 --trace-chrome P  write a Chrome trace-event file (chrome://tracing,\n\
+         \x20                   Perfetto); shards appear as separate tracks\n\
+         \x20 --compare OLD     bench: compare against a previous result file,\n\
+         \x20                   exit 1 past the tolerance unless --warn-only\n\
+         \x20 --warn-only       bench: report --compare regressions, never fail\n",
     );
     s
 }
@@ -133,6 +150,14 @@ fn bad_usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprint!("{}", usage_text());
     std::process::exit(2);
+}
+
+/// The one exit path for every unrecognized token — flag, experiment, or
+/// subcommand argument. One-line `error: unknown <kind> <token>` plus the
+/// usage text, exit 2 (via [`bad_usage`]); `tests/cli_usage.rs` pins the
+/// shape for both kinds.
+fn unknown(kind: &str, token: &str) -> ! {
+    bad_usage(&format!("unknown {kind} {token}"))
 }
 
 fn parse_args() -> Args {
@@ -144,6 +169,11 @@ fn parse_args() -> Args {
         threads: 0,
         report: None,
         trace: false,
+        trace_json: None,
+        trace_chrome: None,
+        compare: None,
+        warn_only: false,
+        profile_target: None,
         sweep_spec: None,
         replicates: None,
         faults: None,
@@ -228,6 +258,28 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--trace" => args.trace = true,
+            "--trace-json" => {
+                args.trace_json = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| bad_usage("--trace-json requires a file path")),
+                )
+            }
+            "--trace-chrome" => {
+                args.trace_chrome = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| bad_usage("--trace-chrome requires a file path")),
+                )
+            }
+            "--compare" => {
+                args.compare = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| bad_usage("--compare requires a baseline file")),
+                )
+            }
+            "--warn-only" => args.warn_only = true,
             "--help" | "-h" => {
                 print!("{}", usage_text());
                 std::process::exit(0);
@@ -235,19 +287,36 @@ fn parse_args() -> Args {
             "sweep" => args.experiment = "sweep".to_string(),
             "check" => args.experiment = "check".to_string(),
             "bench" => args.experiment = "bench".to_string(),
+            "profile" => args.experiment = "profile".to_string(),
             other if !other.starts_with('-') => {
                 if args.experiment == "sweep" && args.sweep_spec.is_none() {
                     args.sweep_spec = Some(other.to_string());
+                } else if args.experiment == "profile" && args.profile_target.is_none() {
+                    if !EXPERIMENTS.contains(&other) {
+                        unknown("experiment", other);
+                    }
+                    args.profile_target = Some(other.to_string());
                 } else if EXPERIMENTS.contains(&other) {
                     args.experiment = other.to_string();
                 } else {
-                    bad_usage(&format!("unknown experiment {other}"));
+                    unknown("experiment", other);
                 }
             }
-            other => bad_usage(&format!("unknown flag {other}")),
+            other => unknown("flag", other),
         }
     }
+    if !matches!(args.scale.as_str(), "test" | "paper") {
+        bad_usage(&format!("unknown scale {} (use test|paper)", args.scale));
+    }
     args
+}
+
+impl Args {
+    /// Is this a paper-scale run? `parse_args` already rejected every
+    /// other `--scale` value.
+    fn paper_scale(&self) -> bool {
+        self.scale == "paper"
+    }
 }
 
 /// Exit with a one-line diagnostic when an output path can't be written
@@ -310,10 +379,10 @@ fn run_experiments(args: &Args) -> RunArtifacts {
     // the main thread's collector so the report sees the full tree.
     let _run = rp_obs::span("repro.run");
 
-    let cfg = match args.scale.as_str() {
-        "paper" => WorldConfig::paper_scale(args.seed),
-        "test" => WorldConfig::test_scale(args.seed),
-        other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
+    let cfg = if args.paper_scale() {
+        WorldConfig::paper_scale(args.seed)
+    } else {
+        WorldConfig::test_scale(args.seed)
     };
 
     let t0 = Instant::now();
@@ -565,10 +634,10 @@ fn run_bench_command(args: &Args) {
     use rp_netsim::NodeId;
     use rp_types::SimTime;
 
-    let cfg = match args.scale.as_str() {
-        "paper" => WorldConfig::paper_scale(args.seed),
-        "test" => WorldConfig::test_scale(args.seed),
-        other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
+    let cfg = if args.paper_scale() {
+        WorldConfig::paper_scale(args.seed)
+    } else {
+        WorldConfig::test_scale(args.seed)
     };
     let reps: u64 = if args.quick { 1 } else { 5 };
     let mut rows: Vec<BenchRow> = Vec::new();
@@ -776,6 +845,49 @@ fn run_bench_command(args: &Args) {
         &serde_json::to_string_pretty(&out).expect("serialize bench output"),
     );
     eprintln!("bench results: {}", path.display());
+
+    // `--compare OLD.json`: raw same-host regression gate against a
+    // previous result file. Cross-host trend analysis (normalized by the
+    // queue microbenches) lives in `scripts/check_bench_trend.py`.
+    if let Some(old_path) = &args.compare {
+        let old_doc = match std::fs::read_to_string(old_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", old_path.display());
+                std::process::exit(2);
+            }
+        };
+        let cmp = match rp_obs::compare::compare(&old_doc, &out) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}: {e}", old_path.display());
+                std::process::exit(2);
+            }
+        };
+        let tol = rp_obs::compare::DEFAULT_TOLERANCE;
+        println!("==== bench compare vs {} ====", old_path.display());
+        print!("{}", cmp.render(tol));
+        let regressed = cmp.regressions(tol);
+        if !regressed.is_empty() {
+            if args.warn_only {
+                eprintln!(
+                    "bench compare: {} regression(s) past {:.0}% (warn-only)",
+                    regressed.len(),
+                    tol * 100.0
+                );
+            } else {
+                eprintln!(
+                    "bench compare: {} regression(s) past {:.0}%",
+                    regressed.len(),
+                    tol * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn run_sweep_command(args: &Args, spec_arg: &str) {
@@ -783,11 +895,7 @@ fn run_sweep_command(args: &Args, spec_arg: &str) {
     let spec = resolve_spec(spec_arg);
     let cfg = rp_scenario::SweepConfig {
         seed: args.seed,
-        paper_scale: match args.scale.as_str() {
-            "paper" => true,
-            "test" => false,
-            other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
-        },
+        paper_scale: args.paper_scale(),
         replicates: args.replicates.unwrap_or(spec.default_replicates),
         confidence: 0.95,
         resamples: 400,
@@ -853,18 +961,14 @@ fn run_sweep_command(args: &Args, spec_arg: &str) {
 }
 
 /// The `check` subcommand: run the `rp-testkit` correctness harness and
-/// write its deterministic report. Exits 1 on any invariant violation or
-/// caught parser panic.
-fn run_check_command(args: &Args, report_path: Option<&Path>) {
+/// write its deterministic report. Returns whether the harness passed;
+/// `main` turns a failure into exit 1 (after closing any trace sink).
+fn run_check_command(args: &Args, report_path: Option<&Path>) -> bool {
     let cfg = rp_testkit::CheckConfig {
         seed: args.seed,
         fault_trials: args.faults.unwrap_or(200),
         fuzz_iters: args.fuzz.unwrap_or(500),
-        paper_scale: match args.scale.as_str() {
-            "paper" => true,
-            "test" => false,
-            other => bad_usage(&format!("unknown scale {other} (use test|paper)")),
-        },
+        paper_scale: args.paper_scale(),
         shards: args.shards,
     };
     let t0 = Instant::now();
@@ -945,9 +1049,7 @@ fn run_check_command(args: &Args, report_path: Option<&Path>) {
         eprintln!("run report: {}", rp.display());
     }
 
-    if !outcome.passed() {
-        std::process::exit(1);
-    }
+    outcome.passed()
 }
 
 fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
@@ -988,13 +1090,73 @@ fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
     eprintln!("run report: {}", path.display());
 }
 
+/// Close any installed trace sink and report what it wrote. Called on
+/// every exit path that had a sink (sinks buffer; an unflushed sink would
+/// truncate the file).
+fn finish_trace() {
+    match rp_obs::trace::finish() {
+        Ok(None) => {}
+        Ok(Some(s)) => eprintln!(
+            "trace: {} event(s) written, {} dropped",
+            s.written, s.dropped
+        ),
+        Err(e) => eprintln!("error: closing trace sink: {e}"),
+    }
+}
+
+/// The `profile` subcommand: run one experiment with the sampling profiler
+/// armed, write the collapsed-stack profile (flamegraph-ready), and print
+/// the hottest span paths. Wall-clock by nature — the profile is *not* a
+/// determinism-gated artifact.
+fn run_profile_command(args: &mut Args) {
+    let target = args
+        .profile_target
+        .clone()
+        .unwrap_or_else(|| bad_usage("profile requires an experiment name"));
+    args.experiment = target;
+    let profiler = rp_obs::profile::start();
+    run_experiments(args);
+    let profile = profiler.stop();
+
+    let path = args.out.join("profile.folded");
+    write_output(&path, &profile.collapsed());
+    eprintln!("profile: {}", path.display());
+
+    println!("==== profile:{} {}", args.experiment, "=".repeat(48));
+    println!(
+        "{} samples at {:?}",
+        profile.total_samples,
+        rp_obs::profile::SAMPLE_INTERVAL
+    );
+    for (stack, n) in profile.top(10) {
+        let pct = 100.0 * n as f64 / profile.total_samples.max(1) as f64;
+        println!("{pct:6.2}%  {n:>8}  {stack}");
+    }
+}
+
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
     let report_path = args.report.as_ref().map(|p| {
         p.clone()
             .unwrap_or_else(|| args.out.join("run_report.json"))
     });
-    if report_path.is_some() || args.trace {
+    if let Some(path) = &args.trace_json {
+        if let Err(e) = rp_obs::trace::install_jsonl(path) {
+            fail_write(path, &e);
+        }
+    }
+    if let Some(path) = &args.trace_chrome {
+        if let Err(e) = rp_obs::trace::install_chrome(path) {
+            fail_write(path, &e);
+        }
+    }
+    // The span/metric collectors feed every downstream consumer: the run
+    // report, the streaming trace sinks, and the sampling profiler.
+    if report_path.is_some()
+        || args.trace
+        || rp_obs::trace::active()
+        || args.experiment == "profile"
+    {
         rp_obs::enable();
     }
     // Results are bit-identical at any thread count (per-IXP seeding plus
@@ -1006,15 +1168,25 @@ fn main() {
     eprintln!("worker threads: {}", rayon::current_num_threads());
 
     if args.experiment == "check" {
-        run_check_command(&args, report_path.as_deref());
+        let passed = run_check_command(&args, report_path.as_deref());
         if args.trace {
             eprint!("{}", rp_obs::report::render_trace());
+        }
+        finish_trace();
+        if !passed {
+            std::process::exit(1);
         }
         return;
     }
 
     if args.experiment == "bench" {
         run_bench_command(&args);
+        return;
+    }
+
+    if args.experiment == "profile" {
+        run_profile_command(&mut args);
+        finish_trace();
         return;
     }
 
@@ -1027,6 +1199,7 @@ fn main() {
         if args.trace {
             eprint!("{}", rp_obs::report::render_trace());
         }
+        finish_trace();
         return;
     }
 
@@ -1036,6 +1209,7 @@ fn main() {
     if args.trace {
         eprint!("{}", rp_obs::report::render_trace());
     }
+    finish_trace();
     if let Some(path) = &report_path {
         write_report(path, &args, &artifacts);
     }

@@ -24,7 +24,7 @@ use rayon::prelude::*;
 use rp_ixp::membership::late_epoch_extra_ms;
 use rp_ixp::model::{Access, IxpInstance, MemberInterface};
 use rp_ixp::LgOperator;
-use rp_netsim::{CongestionEpisode, DelayModel, Network, NodeId, RouterBehavior};
+use rp_netsim::{CongestionEpisode, DelayModel, LinkClass, Network, NodeId, RouterBehavior};
 use rp_types::geo::WORLD_CITIES;
 use rp_types::{seed, IxpId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -158,6 +158,7 @@ impl Campaign {
         let seed_base = seed::derive(world.config.seed, domain, ixp.0 as u64);
         let n_shards = resolve_shards(self.shards, inst.sites.len());
         let mut net = Network::with_shards(seed_base, n_shards);
+        net.set_timeline_scope(format!("ixp.{}", inst.meta.acronym));
         let n_shards = net.shard_count() as usize;
         let shard_for = move |site: usize| site % n_shards;
 
@@ -174,10 +175,11 @@ impl Campaign {
             let a_city = WORLD_CITIES[inst.sites[w] as usize].location;
             let b_city = WORLD_CITIES[inst.sites[w + 1] as usize].location;
             let span = a_city.fiber_delay_ms(b_city).max(0.05);
-            net.connect(
+            net.connect_classed(
                 fabrics[w],
                 fabrics[w + 1],
                 DelayModel::with_one_way_ms(span),
+                LinkClass::InterSite,
             );
         }
 
@@ -546,7 +548,12 @@ impl Campaign {
                     .pseudowire_delay_ms(origin, ixp_loc)
                     * world.config.scene.pseudowire_slack)
                     .max(0.05);
-                net.connect(prov_ixp, prov_far, DelayModel::with_one_way_ms(wire_ms));
+                net.connect_classed(
+                    prov_ixp,
+                    prov_far,
+                    DelayModel::with_one_way_ms(wire_ms),
+                    LinkClass::Pseudowire,
+                );
                 (prov_far, access_delay_ms)
             }
         };
@@ -606,7 +613,7 @@ impl Campaign {
             // listed address and forwards one IP hop to the inner router
             // that actually holds it.
             let front = net.add_router_on(shard, RouterBehavior::default());
-            let (_, f_access) = net.connect(attach, front, link);
+            let (_, f_access) = net.connect_classed(attach, front, link, LinkClass::Access);
             let front_ip = Ipv4Addr::new(172, 16, (ixp.0 % 250) as u8, (2 + slot % 250) as u8);
             net.bind_router(front, f_access, front_ip);
             let inner = net.add_router_on(shard, behavior);
@@ -622,7 +629,7 @@ impl Campaign {
             inner_r.set_default_route(i_port);
         } else {
             let router = net.add_router_on(shard, behavior);
-            let (_, r_port) = net.connect(attach, router, link);
+            let (_, r_port) = net.connect_classed(attach, router, link, LinkClass::Access);
             net.bind_router(router, r_port, m.ip);
         }
     }

@@ -46,6 +46,19 @@ impl DetectionStudy {
             }
         }
         stats.publish_metrics();
+        // Funnel progress over the IXP axis: how many interfaces entered
+        // the filters and how many survived, per IXP. An Index-axis
+        // timeline (not sim time), so the funnel reads as a bar per IXP.
+        rp_obs::timeline::index_point(
+            "core.filter_funnel.probed",
+            ixp.0 as u64,
+            samples.len() as u64,
+        );
+        rp_obs::timeline::index_point(
+            "core.filter_funnel.analyzed",
+            ixp.0 as u64,
+            analyzed.len() as u64,
+        );
         DetectionStudy {
             ixp,
             analyzed,

@@ -46,7 +46,7 @@ pub use frame::{ArpOp, ArpPacket, Frame, IcmpMessage, Ipv4Packet, MacAddr, Paylo
 pub use host::{Host, PingOutcome, PingReply};
 pub use link::{CongestionEpisode, DelayModel};
 pub use router::{Router, RouterBehavior};
-pub use sim::{Device, Network, NodeId, PortId};
+pub use sim::{Device, LinkClass, Network, NodeId, PortId};
 pub use switch::Switch;
 
 // The campaign runs one `Network` per worker thread, so the simulator types

@@ -142,6 +142,28 @@ struct NodeMeta {
     loc: u32,
 }
 
+/// Topology role of a link, declared at [`Network::connect_classed`] time.
+///
+/// Classes exist for the deterministic timelines: traffic is attributed
+/// to the *canonical* topology partition (what kind of link a frame
+/// crossed), never to the physical shard layout — so the per-class byte
+/// series are identical at `--shards 1` and `--shards 8`. In particular
+/// `InterSite` marks the inter-fabric-site spans that *would* cross
+/// shards at full sharding: its frame count is the canonical handoff
+/// volume, defined even when the whole fabric runs on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkClass {
+    /// Anything unclassified (fabric-internal hops, test rigs).
+    #[default]
+    Core,
+    /// A member's access port onto the IXP fabric (port utilization).
+    Access,
+    /// A fiber span between fabric sites of one distributed IXP.
+    InterSite,
+    /// A remote-peering pseudowire long-haul segment.
+    Pseudowire,
+}
+
 /// Immutable link description; per-direction mutable state ([`DirState`])
 /// lives in the transmitting shard.
 #[derive(Debug)]
@@ -149,6 +171,7 @@ struct LinkMeta {
     delay: DelayModel,
     a: NodeId,
     b: NodeId,
+    class: LinkClass,
 }
 
 /// Mutable per-direction link state, owned by the shard of the node that
@@ -242,6 +265,17 @@ struct Shard {
     outbox: Vec<Vec<Xfer>>,
     /// Total frames this shard handed to other shards.
     handoffs: u64,
+    /// Sim-time timeline series recorded by this shard (only while
+    /// observability is on); drained into the process registry by
+    /// [`Network::flush_obs`]. Everything recorded here is a pure
+    /// function of the shard-invariant event trace — see the
+    /// `rp_obs::timeline` module docs for the rules.
+    timeline: rp_obs::TimelineRecorder,
+    /// Batched `netsim.events` count for the current sim-time bucket:
+    /// dispatch is the hottest loop in the repo, so per-event recording
+    /// folds into one add until the bucket changes.
+    tl_ev_bucket: u64,
+    tl_ev_accum: u64,
 }
 
 /// Minimum total pending events before a window is drained on the rayon
@@ -285,6 +319,31 @@ impl Shard {
             digest: 0,
             outbox: (0..total).map(|_| Vec::new()).collect(),
             handoffs: 0,
+            timeline: rp_obs::TimelineRecorder::new(),
+            tl_ev_bucket: 0,
+            tl_ev_accum: 0,
+        }
+    }
+
+    /// Count one dispatched event on the `netsim.events` rate series,
+    /// batching within a bucket (events are near-sorted in time, so the
+    /// common case is one register add).
+    #[inline]
+    fn tl_event(&mut self) {
+        let b = rp_obs::timeline::bucket_of(self.now.nanos());
+        if b != self.tl_ev_bucket {
+            self.tl_flush_events();
+            self.tl_ev_bucket = b;
+        }
+        self.tl_ev_accum += 1;
+    }
+
+    /// Flush the batched event count into the recorder.
+    fn tl_flush_events(&mut self) {
+        if self.tl_ev_accum > 0 {
+            self.timeline
+                .rate_bucket("netsim.events", self.tl_ev_bucket, self.tl_ev_accum);
+            self.tl_ev_accum = 0;
         }
     }
 
@@ -318,6 +377,9 @@ impl Shard {
             Event::Timer { node, .. } => (*node, 1u64),
         };
         self.digest = self.digest.wrapping_add(event_hash(self.now, node.0, kind));
+        if ctx.obs_active {
+            self.tl_event();
+        }
         let meta = &ctx.nodes[node.index()];
         let loc = meta.loc as usize;
         self.rx[loc] += 1;
@@ -407,6 +469,27 @@ impl Shard {
                     }
                     let tx_done = start + tx_time;
                     ds.busy_until = tx_done;
+                    if ctx.obs_active {
+                        // Per-class wire-byte timelines, keyed by transmit
+                        // start (sim time) and the link's *canonical* role —
+                        // both shard-invariant. InterSite frames are the
+                        // canonical cross-shard handoff volume.
+                        let bytes = frame.wire_size() as u64;
+                        let t = start.nanos();
+                        match ctx.links[att.link as usize].class {
+                            LinkClass::Core => {}
+                            LinkClass::Access => {
+                                self.timeline.rate("netsim.access_bytes", t, bytes);
+                            }
+                            LinkClass::InterSite => {
+                                self.timeline.rate("netsim.inter_site_bytes", t, bytes);
+                                self.timeline.rate("netsim.inter_site_frames", t, 1);
+                            }
+                            LinkClass::Pseudowire => {
+                                self.timeline.rate("netsim.pseudowire_bytes", t, bytes);
+                            }
+                        }
+                    }
                     let delay = match ds.rng.as_mut() {
                         Some(rng) => delay_model.sample(start, rng),
                         None => delay_model.sample_deterministic(start),
@@ -420,6 +503,10 @@ impl Shard {
                     self.deliver(ctx, &att, arrival, key, frame);
                 }
                 Action::Schedule { at, token } => {
+                    if ctx.obs_active {
+                        self.timeline
+                            .level("netsim.queue_depth", self.now.nanos(), at.nanos(), 1);
+                    }
                     let key = self.next_key(node, loc);
                     self.queue.push(at, key, Event::Timer { node, token });
                 }
@@ -439,6 +526,17 @@ impl Shard {
         key: EventKey,
         frame: Frame,
     ) {
+        if ctx.obs_active {
+            // Both level series use (creation sim-time → scheduled
+            // sim-time) intervals known right here, so the value at every
+            // bucket boundary is exact and independent of which shard the
+            // frame physically traverses. Queue depth counts pending
+            // events (frames + timers); frames-in-flight is the logical
+            // arena occupancy — frames between transmission and arrival.
+            let (t0, t1) = (self.now.nanos(), at.nanos());
+            self.timeline.level("netsim.queue_depth", t0, t1, 1);
+            self.timeline.level("netsim.frames_in_flight", t0, t1, 1);
+        }
         if att.far_shard == self.me {
             let frame = self.frames.alloc(frame);
             self.queue.push(
@@ -498,6 +596,13 @@ pub struct Network {
     /// shard-count invariance on purpose so oracle tests can prove their
     /// checkers fire. Zero in all real runs.
     xshard_skew: SimDuration,
+    /// Label for scoped timeline series (`<scope>.port_util_bytes`),
+    /// typically `ixp.<ACRONYM>` set by the campaign layer. `None` keeps
+    /// the aggregate series only.
+    timeline_scope: Option<String>,
+    /// Base track id for this network's shards in the Chrome trace, lazily
+    /// allocated on the first traced window.
+    trace_tracks: Option<u32>,
 }
 
 impl Network {
@@ -530,7 +635,17 @@ impl Network {
             barrier_rounds: 0,
             barrier_wait_ns: 0,
             xshard_skew: SimDuration::ZERO,
+            timeline_scope: None,
+            trace_tracks: None,
         }
+    }
+
+    /// Label this network's scoped timeline series: the access-port byte
+    /// series is additionally published as `<scope>.port_util_bytes`
+    /// (the campaign passes `ixp.<ACRONYM>` so per-IXP port utilization
+    /// survives the cross-IXP aggregation).
+    pub fn set_timeline_scope(&mut self, scope: String) {
+        self.timeline_scope = Some(scope);
     }
 
     /// Number of data-plane shards.
@@ -632,10 +747,23 @@ impl Network {
     /// side. Delay is sampled independently per traversal direction, from
     /// a stream owned by the transmitting side's shard.
     pub fn connect(&mut self, a: NodeId, b: NodeId, delay: DelayModel) -> (PortId, PortId) {
+        self.connect_classed(a, b, delay, LinkClass::Core)
+    }
+
+    /// [`Network::connect`] with an explicit [`LinkClass`], so the
+    /// deterministic timelines can attribute traffic to the canonical
+    /// topology role of the link.
+    pub fn connect_classed(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: DelayModel,
+        class: LinkClass,
+    ) -> (PortId, PortId) {
         let link_idx = self.links.len() as u32;
         let seed = self.seed;
         let deterministic = delay.is_deterministic();
-        self.links.push(LinkMeta { delay, a, b });
+        self.links.push(LinkMeta { delay, a, b, class });
         self.lookahead_cache = None;
         let (shard_a, shard_b) = (self.nodes[a.index()].shard, self.nodes[b.index()].shard);
         let dir_state = |shards: &mut Vec<Shard>, shard: u32, dir: u8| {
@@ -734,6 +862,13 @@ impl Network {
         let token = self.host_mut(host).register_plan(at, target);
         let key = self.plan_key();
         let shard = self.nodes[host.index()].shard as usize;
+        if rp_obs::enabled() {
+            // Plan timers sit in the queue from construction (sim t=0)
+            // until they fire.
+            self.shards[shard]
+                .timeline
+                .level("netsim.queue_depth", 0, at.nanos(), 1);
+        }
         self.shards[shard]
             .queue
             .push(at, key, Event::Timer { node: host, token });
@@ -748,6 +883,11 @@ impl Network {
             let token = self.host_mut(host).register_probe(t, target, hop);
             let key = self.plan_key();
             let shard = self.nodes[host.index()].shard as usize;
+            if rp_obs::enabled() {
+                self.shards[shard]
+                    .timeline
+                    .level("netsim.queue_depth", 0, t.nanos(), 1);
+            }
             self.shards[shard]
                 .queue
                 .push(t, key, Event::Timer { node: host, token });
@@ -853,15 +993,45 @@ impl Network {
         min
     }
 
+    /// Lazily reserve Chrome-trace tracks for this network's shards.
+    fn trace_track_base(&mut self) -> u32 {
+        if let Some(b) = self.trace_tracks {
+            return b;
+        }
+        let label = self.timeline_scope.as_deref().unwrap_or("net");
+        let b = rp_obs::trace::alloc_tracks(label, self.shards.len());
+        self.trace_tracks = Some(b);
+        b
+    }
+
     /// Drain one window (all events strictly before `horizon`) on every
-    /// shard, in parallel when it pays.
+    /// shard, in parallel when it pays. With a trace sink installed, each
+    /// shard's window becomes a slice on its own track.
     fn run_window(&mut self, horizon: SimTime) {
+        let tracks = rp_obs::trace::active().then(|| self.trace_track_base());
         let ctx = Ctx {
             nodes: &self.nodes,
             links: &self.links,
             router_key: self.router_key,
             obs_active: self.obs_active,
             xshard_skew: self.xshard_skew,
+        };
+        let drain_traced = |s: &mut Shard| {
+            let t0 = rp_obs::trace::clock_ns();
+            let e0 = s.events_processed;
+            s.drain_window(&ctx, horizon);
+            (t0, e0)
+        };
+        let emit = |s: &Shard, base: u32, t0: u64, e0: u64| {
+            if s.events_processed > e0 {
+                rp_obs::trace::slice(
+                    "window",
+                    base + s.me,
+                    t0,
+                    rp_obs::trace::clock_ns(),
+                    s.events_processed - e0,
+                );
+            }
         };
         let pending: usize = self.shards.iter().map(|s| s.queue.len()).sum();
         if self.shards.len() > 1 && pending >= PAR_WINDOW_EVENTS && rayon::current_num_threads() > 1
@@ -874,13 +1044,25 @@ impl Network {
             self.shards = shards
                 .into_par_iter()
                 .map(|mut s| {
-                    s.drain_window(&ctx, horizon);
+                    match tracks {
+                        Some(base) => {
+                            let (t0, e0) = drain_traced(&mut s);
+                            emit(&s, base, t0, e0);
+                        }
+                        None => s.drain_window(&ctx, horizon),
+                    }
                     s
                 })
                 .collect();
         } else {
             for s in &mut self.shards {
-                s.drain_window(&ctx, horizon);
+                match tracks {
+                    Some(base) => {
+                        let (t0, e0) = drain_traced(s);
+                        emit(s, base, t0, e0);
+                    }
+                    None => s.drain_window(&ctx, horizon),
+                }
             }
         }
     }
@@ -894,6 +1076,7 @@ impl Network {
         let t0 = self.obs_active.then(std::time::Instant::now);
         self.barrier_rounds += 1;
         let n = self.shards.len();
+        let mut moved = 0u64;
         for src in 0..n {
             for dst in 0..n {
                 if src == dst || self.shards[src].outbox[dst].is_empty() {
@@ -901,6 +1084,7 @@ impl Network {
                 }
                 let xs = std::mem::take(&mut self.shards[src].outbox[dst]);
                 let d = &mut self.shards[dst];
+                moved += xs.len() as u64;
                 for x in xs {
                     let frame = d.frames.alloc(x.frame);
                     d.queue.push(
@@ -914,6 +1098,9 @@ impl Network {
                     );
                 }
             }
+        }
+        if moved > 0 && rp_obs::trace::active() {
+            rp_obs::trace::instant("netsim.barrier", moved);
         }
         if let Some(t0) = t0 {
             self.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
@@ -951,6 +1138,24 @@ impl Network {
                     .unwrap_or(0),
             );
             rp_obs::gauge!("netsim.shard.barrier_wait_ns").record_max(self.barrier_wait_ns);
+        }
+        // Drain the per-shard timelines into the process registry, merged
+        // in canonical shard order (the merge is commutative anyway — the
+        // order is for reading the code, not for correctness). Scoped
+        // port-utilization is re-published per IXP when a scope is set.
+        let mut tl = rp_obs::TimelineRecorder::new();
+        for s in &mut self.shards {
+            s.tl_flush_events();
+            tl.merge(&s.timeline);
+            s.timeline = rp_obs::TimelineRecorder::new();
+        }
+        if !tl.is_empty() {
+            if let Some(scope) = &self.timeline_scope {
+                if let Some(data) = tl.series_data("netsim.access_bytes") {
+                    rp_obs::timeline::publish_as(format!("{scope}.port_util_bytes"), data);
+                }
+            }
+            rp_obs::timeline::publish(&tl);
         }
     }
 

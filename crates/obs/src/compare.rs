@@ -1,0 +1,209 @@
+//! Bench-run comparison: the in-process half of the perf-regression
+//! sentinel.
+//!
+//! `repro bench --compare OLD.json` parses two `rp-bench/1` documents
+//! (the fresh run and a saved one from the *same host*), pairs benches
+//! by name, and flags raw `ns_per_op` ratios outside a tolerance band.
+//! Same-host comparison needs no normalization; the cross-host trend
+//! gate over committed `BENCH_*.json` files lives in
+//! `scripts/check_bench_trend.py`, which additionally normalizes by the
+//! `event_queue_spread` microbench to cancel machine speed.
+
+use serde_json::Value;
+
+/// Default acceptance band for same-host comparisons: a bench is a
+/// regression when `new > old * (1 + DEFAULT_TOLERANCE)`.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One bench extracted from an `rp-bench/1` document.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Bench name (`probe_all`, `event_queue_spread`, …).
+    pub name: String,
+    /// Mean wall time per operation, ns.
+    pub ns_per_op: f64,
+}
+
+/// Parse the `benches` array of an `rp-bench/1` document.
+pub fn parse_bench(doc: &Value) -> Result<Vec<BenchPoint>, String> {
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some("rp-bench/1") => {}
+        Some(other) => return Err(format!("unsupported bench schema {other:?}")),
+        None => return Err("missing \"schema\" key (not an rp-bench document?)".to_string()),
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(|b| b.as_array())
+        .ok_or("missing \"benches\" array")?;
+    let mut out = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("bench entry missing \"name\"")?
+            .to_string();
+        let ns_per_op = b
+            .get("ns_per_op")
+            .and_then(|n| n.as_f64())
+            .ok_or_else(|| format!("bench {name} missing numeric \"ns_per_op\""))?;
+        if !(ns_per_op.is_finite() && ns_per_op > 0.0) {
+            return Err(format!("bench {name} has non-positive ns_per_op"));
+        }
+        out.push(BenchPoint { name, ns_per_op });
+    }
+    if out.is_empty() {
+        return Err("empty \"benches\" array".to_string());
+    }
+    Ok(out)
+}
+
+/// One paired bench in a comparison.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Bench name.
+    pub name: String,
+    /// Baseline ns/op.
+    pub old_ns: f64,
+    /// Fresh ns/op.
+    pub new_ns: f64,
+    /// `new / old`; above 1 is slower.
+    pub ratio: f64,
+}
+
+/// Result of pairing two bench runs by name.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benches present in both runs, in the new run's order.
+    pub rows: Vec<DeltaRow>,
+    /// Bench names only in the new run (no baseline — reported, not gated).
+    pub only_new: Vec<String>,
+    /// Bench names only in the old run (retired — reported, not gated).
+    pub only_old: Vec<String>,
+}
+
+/// Pair `old` and `new` `rp-bench/1` documents by bench name.
+pub fn compare(old: &Value, new: &Value) -> Result<Comparison, String> {
+    let old_pts = parse_bench(old)?;
+    let new_pts = parse_bench(new)?;
+    let mut rows = Vec::new();
+    let mut only_new = Vec::new();
+    for np in &new_pts {
+        match old_pts.iter().find(|op| op.name == np.name) {
+            Some(op) => rows.push(DeltaRow {
+                name: np.name.clone(),
+                old_ns: op.ns_per_op,
+                new_ns: np.ns_per_op,
+                ratio: np.ns_per_op / op.ns_per_op,
+            }),
+            None => only_new.push(np.name.clone()),
+        }
+    }
+    let only_old = old_pts
+        .iter()
+        .filter(|op| !new_pts.iter().any(|np| np.name == op.name))
+        .map(|op| op.name.clone())
+        .collect();
+    Ok(Comparison {
+        rows,
+        only_new,
+        only_old,
+    })
+}
+
+impl Comparison {
+    /// Rows slower than `1 + tolerance`.
+    pub fn regressions(&self, tolerance: f64) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.ratio > 1.0 + tolerance)
+            .collect()
+    }
+
+    /// Human-readable table with a verdict column.
+    pub fn render(&self, tolerance: f64) -> String {
+        fn fmt_ns(ns: f64) -> String {
+            if ns >= 1e9 {
+                format!("{:.2}s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.1}ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.1}µs", ns / 1e3)
+            } else {
+                format!("{ns:.1}ns")
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%)\n",
+            "bench",
+            "old/op",
+            "new/op",
+            "ratio",
+            tolerance * 100.0
+        ));
+        for r in &self.rows {
+            let verdict = if r.ratio > 1.0 + tolerance {
+                "REGRESSION"
+            } else if r.ratio < 1.0 / (1.0 + tolerance) {
+                "improved"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>12} {:>7.3}x  {}\n",
+                r.name,
+                fmt_ns(r.old_ns),
+                fmt_ns(r.new_ns),
+                r.ratio,
+                verdict
+            ));
+        }
+        for n in &self.only_new {
+            out.push_str(&format!("{n:<24} (new bench, no baseline)\n"));
+        }
+        for n in &self.only_old {
+            out.push_str(&format!("{n:<24} (baseline only, retired)\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(pairs: &[(&str, f64)]) -> Value {
+        let benches: Vec<Value> = pairs
+            .iter()
+            .map(|(n, v)| json!({"name": *n, "ops": 1, "ns_per_op": *v}))
+            .collect();
+        json!({"schema": "rp-bench/1", "benches": Value::Array(benches)})
+    }
+
+    #[test]
+    fn flags_regressions_past_tolerance() {
+        let old = doc(&[("a", 100.0), ("b", 100.0)]);
+        let new = doc(&[("a", 110.0), ("b", 140.0)]);
+        let cmp = compare(&old, &new).unwrap();
+        let regs = cmp.regressions(0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "b");
+    }
+
+    #[test]
+    fn unpaired_benches_are_reported_not_gated() {
+        let old = doc(&[("a", 100.0), ("gone", 5.0)]);
+        let new = doc(&[("a", 100.0), ("fresh", 7.0)]);
+        let cmp = compare(&old, &new).unwrap();
+        assert_eq!(cmp.only_new, vec!["fresh".to_string()]);
+        assert_eq!(cmp.only_old, vec!["gone".to_string()]);
+        assert!(cmp.regressions(0.25).is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let bad = json!({"schema": "rp-bench/2", "benches": []});
+        assert!(compare(&bad, &bad).is_err());
+    }
+}

@@ -48,11 +48,16 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod compare;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod span;
+pub mod timeline;
+pub mod trace;
 
 pub use span::{span, span_under, SpanGuard, SpanPath};
+pub use timeline::TimelineRecorder;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -81,6 +86,7 @@ pub fn disable() {
 pub fn reset() {
     span::reset();
     metrics::reset();
+    timeline::reset();
 }
 
 /// Resolve (or register) a counter by name, caching the handle per call

@@ -176,6 +176,277 @@ impl Histogram {
     }
 }
 
+/// One documented metric: the source of truth behind `METRICS.md`.
+///
+/// Every production metric name must appear here with its kind; the
+/// registration functions enforce it (names under the `test.` prefix are
+/// exempt), and `crates/obs/tests/metrics_doc.rs` asserts `METRICS.md`
+/// renders exactly [`catalog_markdown`]. Adding a metric therefore means
+/// adding a catalog row and regenerating the doc — the two cannot drift.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// Metric name (`<crate>.<subsystem>.<name>`).
+    pub name: &'static str,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Unit / scale of the recorded values.
+    pub scale: &'static str,
+    /// One-line meaning.
+    pub doc: &'static str,
+}
+
+/// Every production metric, sorted by name.
+pub const CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        name: "core.campaign.interfaces_probed",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Listed member interfaces probed across all campaigns",
+    },
+    CatalogEntry {
+        name: "core.campaign.ixps_probed",
+        kind: "counter",
+        scale: "IXPs",
+        doc: "Studied IXPs whose probing campaign ran (22 per full study)",
+    },
+    CatalogEntry {
+        name: "core.campaign.rtt_ms",
+        kind: "histogram",
+        scale: "ms",
+        doc: "Per-probe round-trip times from the vantage looking glasses",
+    },
+    CatalogEntry {
+        name: "core.filters.analyzed",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Interfaces surviving all six detection filters",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.asn_change",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: interface ASN changed between campaign snapshots",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.lg_consistent",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: looking-glass RTTs disagree beyond the closeness bound",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.rtt_consistent",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: RTT samples inconsistent across the campaign window",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.sample_size",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: too few RTT samples to classify",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.ttl_match",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: reply TTL matches no plausible initial TTL",
+    },
+    CatalogEntry {
+        name: "core.filters.discard.ttl_switch",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Discards: TTL indicates the reply crossed the IXP switch twice",
+    },
+    CatalogEntry {
+        name: "core.filters.probed",
+        kind: "counter",
+        scale: "interfaces",
+        doc: "Interfaces entering the filter funnel (funnel top)",
+    },
+    CatalogEntry {
+        name: "core.memo.probe_hit",
+        kind: "counter",
+        scale: "lookups",
+        doc: "Campaign probe-set memo hits (reused a prior identical campaign)",
+    },
+    CatalogEntry {
+        name: "core.memo.probe_miss",
+        kind: "counter",
+        scale: "lookups",
+        doc: "Campaign probe-set memo misses (campaign actually ran)",
+    },
+    CatalogEntry {
+        name: "core.memo.world_hit",
+        kind: "counter",
+        scale: "lookups",
+        doc: "World-build memo hits (reused a prior identical world)",
+    },
+    CatalogEntry {
+        name: "core.memo.world_miss",
+        kind: "counter",
+        scale: "lookups",
+        doc: "World-build memo misses (world actually built)",
+    },
+    CatalogEntry {
+        name: "core.offload.cone_cache.hits",
+        kind: "counter",
+        scale: "lookups",
+        doc: "Customer-cone cache hits during offload ranking",
+    },
+    CatalogEntry {
+        name: "core.offload.cone_cache.misses",
+        kind: "counter",
+        scale: "lookups",
+        doc: "Customer-cone cache misses (cone computed from scratch)",
+    },
+    CatalogEntry {
+        name: "core.offload.greedy.reevaluations",
+        kind: "counter",
+        scale: "evaluations",
+        doc: "Lazy-greedy (CELF) marginal-gain reevaluations in greedy_by",
+    },
+    CatalogEntry {
+        name: "econ.fit.calls",
+        kind: "counter",
+        scale: "calls",
+        doc: "Exponential-decay fits performed (econ eq. 14 pipeline)",
+    },
+    CatalogEntry {
+        name: "econ.fit.points",
+        kind: "counter",
+        scale: "points",
+        doc: "Data points consumed across all decay fits",
+    },
+    CatalogEntry {
+        name: "netsim.link.queue_depth_hwm",
+        kind: "gauge",
+        scale: "events",
+        doc: "High-water mark of any shard's pending event-queue depth",
+    },
+    CatalogEntry {
+        name: "netsim.shard.barrier_wait_ns",
+        kind: "gauge",
+        scale: "ns",
+        doc: "Worst cumulative wall time a run spent at epoch barriers",
+    },
+    CatalogEntry {
+        name: "netsim.shard.barriers",
+        kind: "counter",
+        scale: "rounds",
+        doc: "Epoch-barrier rounds executed by sharded runs",
+    },
+    CatalogEntry {
+        name: "netsim.shard.count",
+        kind: "gauge",
+        scale: "shards",
+        doc: "Largest shard count any network ran with",
+    },
+    CatalogEntry {
+        name: "netsim.shard.events_max",
+        kind: "gauge",
+        scale: "events",
+        doc: "Largest per-shard event count (load-balance indicator)",
+    },
+    CatalogEntry {
+        name: "netsim.shard.handoffs",
+        kind: "counter",
+        scale: "frames",
+        doc: "Frames handed across shard boundaries at epoch barriers",
+    },
+    CatalogEntry {
+        name: "netsim.sim.events_processed",
+        kind: "counter",
+        scale: "events",
+        doc: "Simulation events dispatched across all networks",
+    },
+    CatalogEntry {
+        name: "netsim.sim.frames_dropped_unconnected",
+        kind: "counter",
+        scale: "frames",
+        doc: "Frames dropped at ports with no attached link",
+    },
+    CatalogEntry {
+        name: "obs.span.duration_us",
+        kind: "histogram",
+        scale: "µs",
+        doc: "Duration of every closed span (all paths pooled)",
+    },
+    CatalogEntry {
+        name: "scenario.cells",
+        kind: "counter",
+        scale: "cells",
+        doc: "Sweep cells expanded from scenario specs",
+    },
+    CatalogEntry {
+        name: "scenario.replicates",
+        kind: "counter",
+        scale: "replicates",
+        doc: "Monte-Carlo replicates requested per sweep",
+    },
+    CatalogEntry {
+        name: "scenario.task_ms",
+        kind: "histogram",
+        scale: "ms",
+        doc: "Wall time of each (world-group × replicate) sweep task",
+    },
+    CatalogEntry {
+        name: "scenario.world_groups",
+        kind: "counter",
+        scale: "groups",
+        doc: "Distinct world configurations a sweep built (cells sharing a world)",
+    },
+    CatalogEntry {
+        name: "testkit.faults.injected",
+        kind: "counter",
+        scale: "faults",
+        doc: "Faults injected across all faulted check arms",
+    },
+    CatalogEntry {
+        name: "testkit.invariants.checks",
+        kind: "counter",
+        scale: "checks",
+        doc: "Metamorphic invariant trials executed by repro check",
+    },
+    CatalogEntry {
+        name: "testkit.invariants.violations",
+        kind: "counter",
+        scale: "violations",
+        doc: "Invariant trials that failed (nonzero fails the check)",
+    },
+];
+
+/// The catalog rendered as the markdown table `METRICS.md` embeds
+/// between its `BEGIN/END GENERATED` markers.
+pub fn catalog_markdown() -> String {
+    let mut out = String::from("| name | kind | scale | meaning |\n|---|---|---|---|\n");
+    for e in CATALOG {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            e.name, e.kind, e.scale, e.doc
+        ));
+    }
+    out
+}
+
+/// Registration gate: every production metric must be cataloged with the
+/// right kind so `METRICS.md` cannot drift from the live registry.
+/// `test.`-prefixed names (unit-test fixtures) are exempt.
+fn assert_cataloged(name: &str, kind: &str) {
+    if name.starts_with("test.") {
+        return;
+    }
+    match CATALOG.iter().find(|e| e.name == name) {
+        Some(e) if e.kind == kind => {}
+        Some(e) => panic!(
+            "metric {name} registered as {kind} but cataloged as {} — fix rp_obs::metrics::CATALOG",
+            e.kind
+        ),
+        None => panic!(
+            "metric {name} is not in rp_obs::metrics::CATALOG — add an entry and update METRICS.md"
+        ),
+    }
+}
+
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
@@ -192,6 +463,7 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
 /// # Panics
 /// If `name` is already registered as a different metric kind.
 pub fn counter(name: &'static str) -> &'static Counter {
+    assert_cataloged(name, "counter");
     let mut reg = registry().lock().expect("metrics registry lock");
     match reg.entry(name).or_insert_with(|| {
         Metric::Counter(Box::leak(Box::new(Counter {
@@ -208,6 +480,7 @@ pub fn counter(name: &'static str) -> &'static Counter {
 /// # Panics
 /// If `name` is already registered as a different metric kind.
 pub fn gauge(name: &'static str) -> &'static Gauge {
+    assert_cataloged(name, "gauge");
     let mut reg = registry().lock().expect("metrics registry lock");
     match reg.entry(name).or_insert_with(|| {
         Metric::Gauge(Box::leak(Box::new(Gauge {
@@ -225,6 +498,7 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
 /// # Panics
 /// If `name` is already registered as a different metric kind.
 pub fn histogram(name: &'static str, bounds: &'static [f64]) -> &'static Histogram {
+    assert_cataloged(name, "histogram");
     let mut reg = registry().lock().expect("metrics registry lock");
     match reg.entry(name).or_insert_with(|| {
         let buckets: Box<[AtomicU64]> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();

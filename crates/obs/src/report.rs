@@ -36,6 +36,9 @@ impl RunReport {
     /// full JSON document.
     pub fn finish(self) -> Value {
         let mut entries: Vec<(String, Value)> = self.sections;
+        if crate::timeline::any() {
+            entries.push(("timelines".to_string(), crate::timeline::timelines_json()));
+        }
         entries.push(("spans".to_string(), span_tree_json()));
         entries.push(("metrics".to_string(), metrics_json()));
         Value::Object(entries)

@@ -104,6 +104,12 @@ fn offset_ns(at: Instant) -> u64 {
     at.saturating_duration_since(origin).as_nanos() as u64
 }
 
+/// Now, as ns since the shared monotonic origin — the one timebase spans
+/// and the trace export agree on.
+pub(crate) fn now_offset_ns() -> u64 {
+    offset_ns(Instant::now())
+}
+
 fn global() -> &'static Mutex<HashMap<Vec<&'static str>, Agg>> {
     GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
 }
@@ -145,7 +151,14 @@ pub fn span(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard { start: None };
     }
-    LOCAL.with(|l| l.borrow_mut().stack.push(name));
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.stack.push(name);
+        if crate::profile::armed() {
+            let path: Vec<&'static str> = l.base.iter().chain(l.stack.iter()).copied().collect();
+            crate::profile::record_stack(&path);
+        }
+    });
     SpanGuard {
         start: Some(Instant::now()),
     }
@@ -166,6 +179,10 @@ pub fn span_under(parent: &SpanPath, name: &'static str) -> SpanGuard {
             l.base = parent.as_ref().clone();
         }
         l.stack.push(name);
+        if crate::profile::armed() {
+            let path: Vec<&'static str> = l.base.iter().chain(l.stack.iter()).copied().collect();
+            crate::profile::record_stack(&path);
+        }
     });
     SpanGuard {
         start: Some(Instant::now()),
@@ -179,21 +196,31 @@ impl Drop for SpanGuard {
         let end_ns = offset_ns(Instant::now());
         crate::metrics::span_duration_histogram()
             .observe(end_ns.saturating_sub(start_ns) as f64 / 1_000.0);
-        let flush = LOCAL.with(|l| {
+        let (flush, traced) = LOCAL.with(|l| {
             let mut l = l.borrow_mut();
             let key: Vec<&'static str> = l.base.iter().chain(l.stack.iter()).copied().collect();
+            let traced = crate::trace::active().then(|| key.clone());
             l.agg
                 .entry(key)
                 .or_insert_with(Agg::new)
                 .record(start_ns, end_ns);
             l.stack.pop();
-            if l.stack.is_empty() {
+            if crate::profile::armed() {
+                let path: Vec<&'static str> =
+                    l.base.iter().chain(l.stack.iter()).copied().collect();
+                crate::profile::record_stack(&path);
+            }
+            let flush = if l.stack.is_empty() {
                 l.base.clear();
                 Some(l.agg.drain().collect::<Vec<_>>())
             } else {
                 None
-            }
+            };
+            (flush, traced)
         });
+        if let Some(path) = traced {
+            crate::trace::span_event(&path, start_ns, end_ns);
+        }
         if let Some(entries) = flush {
             let mut g = global().lock().expect("span aggregate lock");
             for (key, agg) in entries {

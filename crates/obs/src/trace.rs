@@ -1,0 +1,365 @@
+//! Structured trace export: stream span and simulation events to disk as
+//! they close, in either of two formats.
+//!
+//! - **JSONL** (`repro --trace-json PATH`): one JSON object per line —
+//!   `span` records as spans close, `slice`/`instant` records from the
+//!   data plane, `metric` records for every registered metric at
+//!   [`finish`], and a final `summary` line. Line order is arrival
+//!   order (wall clock), so the stream is *not* deterministic — it is a
+//!   diagnostic artifact, never a gated one.
+//! - **Chrome trace-event format** (`repro --trace-chrome PATH`): a JSON
+//!   array of trace events loadable in Perfetto or `chrome://tracing`.
+//!   Spans become `ph:"X"` complete events on their thread's track;
+//!   netsim shards map to dedicated named tracks ([`alloc_tracks`]) with
+//!   window slices, and epoch barriers appear as `ph:"i"` instant
+//!   events spanning the process.
+//!
+//! Tracing is wall-clock by nature and shares rp-obs' prime directive:
+//! it only *reads* pipeline state. The `results/*` byte-diff matrix in
+//! `tests/report_schema.rs` pins down that flipping `--trace-json` on
+//! cannot change any gated artifact.
+//!
+//! ## Bounded output
+//!
+//! A runaway run could emit unbounded events, so sinks cap at
+//! [`MAX_EVENTS`]; past the cap events are counted but not written, and
+//! the cap is reported explicitly — in the `summary` line, the Chrome
+//! metadata, and a stderr warning — never silently.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard cap on written trace events per sink; the tail is counted and
+/// reported as dropped.
+pub const MAX_EVENTS: u64 = 1_000_000;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Is a trace sink installed? One relaxed load; gates every emission
+/// site so an untraced run costs one branch.
+#[inline(always)]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Output format of the installed sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Jsonl,
+    Chrome,
+}
+
+struct Sink {
+    format: Format,
+    out: BufWriter<File>,
+    /// Chrome arrays need comma management.
+    wrote_any: bool,
+    written: u64,
+    dropped: u64,
+}
+
+fn sinks() -> &'static Mutex<Vec<Sink>> {
+    static SINKS: OnceLock<Mutex<Vec<Sink>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn now_ns() -> u64 {
+    // The span layer's monotonic origin, so span events and data-plane
+    // slices share one timebase.
+    crate::span::now_offset_ns()
+}
+
+/// Small dense id for the calling thread (Chrome `tid`, JSONL `tid`).
+pub fn tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Track-id base for shard tracks, above any plausible thread id.
+const SHARD_TRACK_BASE: u32 = 10_000;
+static NEXT_TRACK: AtomicU32 = AtomicU32::new(SHARD_TRACK_BASE);
+
+/// Reserve `n` consecutive track ids for a simulation's shards and name
+/// them `"<label> shard <i>"` in the Chrome output. Returns the base id;
+/// shard `i` uses `base + i`.
+pub fn alloc_tracks(label: &str, n: usize) -> u32 {
+    let base = NEXT_TRACK.fetch_add(n as u32, Ordering::Relaxed);
+    let mut g = sinks().lock().expect("trace sink lock");
+    for s in g.iter_mut().filter(|s| s.format == Format::Chrome) {
+        for i in 0..n {
+            let name = format!("{label} shard {i}");
+            let ev = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                base + i as u32,
+                json_escape(&name),
+            );
+            write_raw(s, &ev);
+        }
+    }
+    base
+}
+
+fn json_escape(s: &str) -> String {
+    serde_json::Value::String(s.to_string()).to_string()
+}
+
+fn install(path: &Path, format: Format) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    if format == Format::Chrome {
+        out.write_all(b"[")?;
+    }
+    let mut g = sinks().lock().expect("trace sink lock");
+    g.push(Sink {
+        format,
+        out,
+        wrote_any: false,
+        written: 0,
+        dropped: 0,
+    });
+    ACTIVE.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Install a JSONL sink at `path` (parent directories are created).
+/// Sinks stack: a JSONL and a Chrome sink can record the same run.
+pub fn install_jsonl(path: &Path) -> std::io::Result<()> {
+    install(path, Format::Jsonl)
+}
+
+/// Install a Chrome trace-event sink at `path` (parent directories are
+/// created). Sinks stack: a JSONL and a Chrome sink can record the same
+/// run.
+pub fn install_chrome(path: &Path) -> std::io::Result<()> {
+    install(path, Format::Chrome)
+}
+
+fn write_raw(s: &mut Sink, record: &str) {
+    if s.written >= MAX_EVENTS {
+        s.dropped += 1;
+        return;
+    }
+    let r = match s.format {
+        Format::Jsonl => s
+            .out
+            .write_all(record.as_bytes())
+            .and_then(|_| s.out.write_all(b"\n")),
+        Format::Chrome => {
+            let sep: &[u8] = if s.wrote_any { b",\n" } else { b"\n" };
+            s.out
+                .write_all(sep)
+                .and_then(|_| s.out.write_all(record.as_bytes()))
+        }
+    };
+    if r.is_ok() {
+        s.wrote_any = true;
+        s.written += 1;
+    }
+}
+
+fn with_sinks(mut f: impl FnMut(&mut Sink)) {
+    let mut g = sinks().lock().expect("trace sink lock");
+    for s in g.iter_mut() {
+        f(s);
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Emit one closed span (called from [`crate::span::SpanGuard`]'s drop).
+/// `path` is the full span path; timestamps are ns since the trace
+/// origin.
+pub fn span_event(path: &[&'static str], start_ns: u64, end_ns: u64) {
+    if !active() {
+        return;
+    }
+    let thread = tid();
+    let name = path.last().copied().unwrap_or("?");
+    with_sinks(|s| {
+        let record = match s.format {
+            Format::Jsonl => format!(
+                "{{\"type\":\"span\",\"path\":{},\"start_ns\":{},\"dur_ns\":{},\"tid\":{}}}",
+                json_escape(&path.join(";")),
+                start_ns,
+                end_ns.saturating_sub(start_ns),
+                thread,
+            ),
+            Format::Chrome => format!(
+                "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                json_escape(name),
+                thread,
+                us(start_ns),
+                us(end_ns.saturating_sub(start_ns)),
+            ),
+        };
+        write_raw(s, &record);
+    });
+}
+
+/// Emit a named slice on an explicit track (netsim shard windows).
+/// `detail` lands in `args` (Chrome) / inline (JSONL); pass `""` to omit.
+pub fn slice(name: &str, track: u32, start_ns: u64, end_ns: u64, events: u64) {
+    if !active() {
+        return;
+    }
+    with_sinks(|s| {
+        let record = match s.format {
+            Format::Jsonl => format!(
+                "{{\"type\":\"slice\",\"name\":{},\"track\":{},\"start_ns\":{},\"dur_ns\":{},\"events\":{}}}",
+                json_escape(name),
+                track,
+                start_ns,
+                end_ns.saturating_sub(start_ns),
+                events,
+            ),
+            Format::Chrome => format!(
+                "{{\"name\":{},\"cat\":\"netsim\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"events\":{}}}}}",
+                json_escape(name),
+                track,
+                us(start_ns),
+                us(end_ns.saturating_sub(start_ns)),
+                events,
+            ),
+        };
+        write_raw(s, &record);
+    });
+}
+
+/// Emit a process-scoped instant event (epoch barriers).
+pub fn instant(name: &str, detail: u64) {
+    if !active() {
+        return;
+    }
+    let t = now_ns();
+    let thread = tid();
+    with_sinks(|s| {
+        let record = match s.format {
+            Format::Jsonl => format!(
+                "{{\"type\":\"instant\",\"name\":{},\"at_ns\":{},\"detail\":{}}}",
+                json_escape(name),
+                t,
+                detail,
+            ),
+            Format::Chrome => format!(
+                "{{\"name\":{},\"cat\":\"netsim\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{{\"detail\":{}}}}}",
+                json_escape(name),
+                thread,
+                us(t),
+                detail,
+            ),
+        };
+        write_raw(s, &record);
+    });
+}
+
+/// Current ns since the trace origin (for callers that time their own
+/// slices).
+pub fn clock_ns() -> u64 {
+    now_ns()
+}
+
+/// Totals reported when a sink closes.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Events written to the file.
+    pub written: u64,
+    /// Events past [`MAX_EVENTS`], counted but not written.
+    pub dropped: u64,
+}
+
+/// Close every installed sink: append a metric snapshot (JSONL) or
+/// metadata (Chrome), the truncation summary, and flush. Returns `None`
+/// if no sink was installed; with several sinks the summary totals are
+/// summed.
+pub fn finish() -> std::io::Result<Option<Summary>> {
+    ACTIVE.store(false, Ordering::SeqCst);
+    let drained: Vec<Sink> = {
+        let mut g = sinks().lock().expect("trace sink lock");
+        std::mem::take(&mut *g)
+    };
+    if drained.is_empty() {
+        return Ok(None);
+    }
+    let mut total = Summary {
+        written: 0,
+        dropped: 0,
+    };
+    for mut s in drained {
+        // Final metric snapshot: JSONL gets one line per metric; Chrome
+        // gets a single metadata event (per-metric counters would pollute
+        // tracks).
+        if s.format == Format::Jsonl {
+            for (name, v) in crate::metrics::snapshot() {
+                let record = match v {
+                    crate::metrics::MetricValue::Counter(n) => format!(
+                        "{{\"type\":\"metric\",\"name\":{},\"kind\":\"counter\",\"value\":{}}}",
+                        json_escape(name),
+                        n
+                    ),
+                    crate::metrics::MetricValue::Gauge(n) => format!(
+                        "{{\"type\":\"metric\",\"name\":{},\"kind\":\"gauge\",\"max\":{}}}",
+                        json_escape(name),
+                        n
+                    ),
+                    crate::metrics::MetricValue::Histogram { count, sum, .. } => format!(
+                        "{{\"type\":\"metric\",\"name\":{},\"kind\":\"histogram\",\"count\":{},\"sum\":{}}}",
+                        json_escape(name),
+                        count,
+                        sum
+                    ),
+                };
+                // Metric lines bypass the event cap: they are bounded by
+                // the registry size and the summary must stay trustworthy.
+                let _ = s.out.write_all(record.as_bytes());
+                let _ = s.out.write_all(b"\n");
+            }
+        }
+        let summary = Summary {
+            written: s.written,
+            dropped: s.dropped,
+        };
+        match s.format {
+            Format::Jsonl => {
+                let line = format!(
+                    "{{\"type\":\"summary\",\"events\":{},\"dropped\":{},\"max_events\":{}}}",
+                    summary.written, summary.dropped, MAX_EVENTS
+                );
+                s.out.write_all(line.as_bytes())?;
+                s.out.write_all(b"\n")?;
+            }
+            Format::Chrome => {
+                let sep: &[u8] = if s.wrote_any { b",\n" } else { b"\n" };
+                s.out.write_all(sep)?;
+                let meta = format!(
+                    "{{\"name\":\"trace_summary\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"events\":{},\"dropped\":{},\"max_events\":{}}}}}",
+                    summary.written, summary.dropped, MAX_EVENTS
+                );
+                s.out.write_all(meta.as_bytes())?;
+                s.out.write_all(b"\n]\n")?;
+            }
+        }
+        s.out.flush()?;
+        if summary.dropped > 0 {
+            eprintln!(
+                "trace: event cap {MAX_EVENTS} reached; {} events dropped (written {})",
+                summary.dropped, summary.written
+            );
+        }
+        total.written += summary.written;
+        total.dropped += summary.dropped;
+    }
+    Ok(Some(total))
+}

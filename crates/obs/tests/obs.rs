@@ -188,3 +188,23 @@ fn report_document_has_spans_and_metrics() {
     assert!(trace.contains("report_root"));
     assert!(trace.contains("count=1"));
 }
+
+#[test]
+fn metrics_md_matches_catalog() {
+    // METRICS.md embeds the generated catalog table between markers; this
+    // pins doc <-> catalog, and `assert_cataloged` (a hard panic at
+    // registration) pins catalog <-> live registry — so the doc cannot
+    // drift from what the code records.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS.md");
+    let text = std::fs::read_to_string(path).expect("METRICS.md at the repository root");
+    let begin = "<!-- BEGIN GENERATED: metrics catalog -->\n";
+    let end = "<!-- END GENERATED: metrics catalog -->";
+    let start = text.find(begin).expect("BEGIN GENERATED marker") + begin.len();
+    let stop = text[start..].find(end).expect("END GENERATED marker") + start;
+    assert_eq!(
+        &text[start..stop],
+        rp_obs::metrics::catalog_markdown(),
+        "METRICS.md is stale: paste the output of \
+         rp_obs::metrics::catalog_markdown() between its markers"
+    );
+}

@@ -87,6 +87,12 @@ pub fn run_sweep(spec: &ScenarioSpec, cfg: &SweepConfig) -> Value {
     rp_obs::counter!("scenario.cells").add(cells.len() as u64);
     rp_obs::counter!("scenario.world_groups").add(groups.len() as u64);
     rp_obs::counter!("scenario.replicates").add(cfg.replicates);
+    // Sweep shape over the group axis: how many cells share each world
+    // group. Recorded before the parallel fan-out, so it is trivially
+    // schedule-independent.
+    for (g, (_, members)) in groups.iter().enumerate() {
+        rp_obs::timeline::index_point("scenario.sweep.group_cells", g as u64, members.len() as u64);
+    }
 
     let tasks: Vec<(usize, u64)> = (0..groups.len())
         .flat_map(|g| (0..cfg.replicates).map(move |r| (g, r)))

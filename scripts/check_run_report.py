@@ -24,7 +24,58 @@ REQUIRED_SPANS = [
     "econ.fit.decay",
 ]
 
+# The run report's schema is closed: a key nobody validates is a key
+# nobody can trust, so an unknown top-level section fails the gate.
+ALLOWED_TOP_LEVEL = {"meta", "world", "filter_funnel", "timelines", "spans", "metrics", "check"}
+
+# Timeline series a full `repro all` run must record.
+REQUIRED_SERIES = [
+    "netsim.events",
+    "netsim.queue_depth",
+    "core.filter_funnel.probed",
+    "core.filter_funnel.analyzed",
+]
+
 errors = []
+
+
+def check_timelines(tl):
+    if not isinstance(tl, dict):
+        errors.append("timelines section is not an object")
+        return
+    bucket_ns = tl.get("bucket_ns")
+    if not isinstance(bucket_ns, int) or bucket_ns <= 0:
+        errors.append(f"timelines.bucket_ns must be a positive integer, got {bucket_ns!r}")
+    series = tl.get("series")
+    if not isinstance(series, dict) or not series:
+        errors.append("timelines.series must be a non-empty object")
+        return
+    for name, s in series.items():
+        if s.get("kind") not in ("rate", "level"):
+            errors.append(f"series {name}: bad kind {s.get('kind')!r}")
+        if s.get("axis") not in ("sim_time", "index"):
+            errors.append(f"series {name}: bad axis {s.get('axis')!r}")
+        points = s.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append(f"series {name}: points must be a non-empty list")
+            continue
+        last = -1
+        for p in points:
+            if (
+                not isinstance(p, list)
+                or len(p) != 2
+                or not isinstance(p[0], int)
+                or not isinstance(p[1], int)
+            ):
+                errors.append(f"series {name}: malformed point {p!r}")
+                break
+            if p[0] <= last:
+                errors.append(f"series {name}: points not strictly sorted at {p[0]}")
+                break
+            last = p[0]
+    for required in REQUIRED_SERIES:
+        if required not in series:
+            errors.append(f"required timeline series {required} missing")
 
 
 def walk(node, parent_window, seen):
@@ -52,6 +103,15 @@ def main(path):
     except ValueError as e:
         errors.append(f"report does not parse: {e}")
         return
+
+    unknown = set(report) - ALLOWED_TOP_LEVEL
+    if unknown:
+        errors.append(f"unknown top-level keys: {sorted(unknown)}")
+
+    if "timelines" not in report:
+        errors.append("timelines section missing")
+    else:
+        check_timelines(report["timelines"])
 
     seen = set()
     spans = report.get("spans", [])

@@ -178,20 +178,41 @@ fn reachable_cone_cache_composes_exactly() {
 
 #[test]
 fn instrumentation_is_result_invariant() {
-    // The rp-obs spans and counters threaded through the hot paths must be
-    // pure observers: enabling them cannot perturb a single result. (The
-    // byte-level guard on the emitted JSON lives in tests/report_schema.rs;
-    // this is the in-process version over the same pipelines.)
+    // The rp-obs spans, counters, and timeline recorders threaded through
+    // the hot paths must be pure observers: enabling them cannot perturb a
+    // single result, at any shard count. (The byte-level guard on the
+    // emitted JSON lives in tests/report_schema.rs; this is the in-process
+    // version over the same pipelines.)
     let world = World::build(&WorldConfig::test_scale(42));
-    let campaign = Campaign::default_paper();
-    let plain_probes = campaign.probe_all(&world);
     let plain_ranking = OffloadStudy::new(&world).single_ixp_ranking();
     let plain_greedy =
         OffloadStudy::new(&world).greedy_by(PeerGroup::All, 20, GreedyMetric::Traffic);
 
+    let mut baseline_probes = None;
+    for shards in [1usize, 2, 4] {
+        let campaign = Campaign {
+            shards,
+            ..Campaign::default_paper()
+        };
+        let plain = campaign.probe_all(&world);
+        rp_obs::enable();
+        let instrumented = campaign.probe_all(&world);
+        rp_obs::disable();
+        assert_eq!(
+            plain, instrumented,
+            "instrumented campaign produced different samples at --shards {shards}"
+        );
+        match &baseline_probes {
+            None => baseline_probes = Some(plain),
+            Some(b) => assert_eq!(
+                b, &plain,
+                "campaign samples changed between shard counts (shards={shards})"
+            ),
+        }
+    }
+
     rp_obs::enable();
     let instrumented_world = World::build(&WorldConfig::test_scale(42));
-    let instrumented_probes = campaign.probe_all(&instrumented_world);
     let instrumented_ranking = OffloadStudy::new(&instrumented_world).single_ixp_ranking();
     let instrumented_greedy =
         OffloadStudy::new(&instrumented_world).greedy_by(PeerGroup::All, 20, GreedyMetric::Traffic);
@@ -203,10 +224,6 @@ fn instrumentation_is_result_invariant() {
         world.registry.total_entries(),
         instrumented_world.registry.total_entries(),
         "instrumented registry crawl diverged"
-    );
-    assert_eq!(
-        plain_probes, instrumented_probes,
-        "instrumented campaign produced different samples"
     );
     assert_eq!(
         plain_ranking, instrumented_ranking,

@@ -23,6 +23,28 @@ fn repro(out: &Path, extra: &[&str]) {
     assert!(status.success(), "repro {extra:?} failed: {status}");
 }
 
+/// Byte-compare every `*.json` under `a` against the same name under `b`.
+fn assert_outputs_identical(a: &Path, b: &Path, label: &str) -> usize {
+    let mut compared = 0;
+    for entry in std::fs::read_dir(a).expect("read results dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_name().unwrap();
+        // Per-run diagnostics (the run report) are intentionally
+        // wall-clock; only the scientific outputs are gated.
+        if name == "run_report.json" {
+            continue;
+        }
+        let lhs = std::fs::read(&path).expect("lhs output");
+        let rhs = std::fs::read(b.join(name)).expect("rhs output");
+        assert_eq!(lhs, rhs, "{} differs ({label})", name.to_string_lossy());
+        compared += 1;
+    }
+    compared
+}
+
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("rp-report-schema-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -180,4 +202,92 @@ fn report_schema_and_outputs_are_deterministic() {
 
     let _ = std::fs::remove_dir_all(&with);
     let _ = std::fs::remove_dir_all(&without);
+}
+
+/// The full determinism matrix for the observability layer: every gated
+/// artifact must be byte-identical across `--shards` 1/2/4, with tracing
+/// and reporting on or off, and the `timelines` section of the run report
+/// must itself be identical at every shard count (it samples simulation
+/// time, never the shard layout). The Chrome trace must parse as a
+/// trace-event JSON array.
+#[test]
+fn timelines_and_outputs_are_shard_and_trace_invariant() {
+    let base = temp_dir("matrix-base");
+    repro(&base, &["--shards", "1"]);
+
+    let mut timelines: Option<String> = None;
+    for shards in ["1", "2", "4"] {
+        let dir = temp_dir(&format!("matrix-s{shards}"));
+        let jsonl = dir.join("trace.jsonl");
+        let chrome = dir.join("trace_chrome.json");
+        repro(
+            &dir,
+            &[
+                "--shards",
+                shards,
+                "--report",
+                "--trace-json",
+                jsonl.to_str().unwrap(),
+                "--trace-chrome",
+                chrome.to_str().unwrap(),
+            ],
+        );
+        let compared = assert_outputs_identical(
+            &base,
+            &dir,
+            &format!("shards=1 plain vs shards={shards} traced"),
+        );
+        assert!(compared >= 10, "only {compared} outputs compared");
+
+        // The timelines section is determinism-gated even though the rest
+        // of the run report is wall-clock: compare it as a serialized
+        // string so ordering and values are pinned byte-for-byte.
+        let report: Value = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("run_report.json")).expect("run_report.json"),
+        )
+        .expect("report parses");
+        let tl = report.get("timelines").expect("timelines section");
+        let series = tl.get("series").and_then(Value::as_object).expect("series");
+        for required in [
+            "netsim.events",
+            "netsim.queue_depth",
+            "core.filter_funnel.probed",
+            "core.filter_funnel.analyzed",
+        ] {
+            assert!(
+                series.iter().any(|(k, _)| k == required),
+                "series {required} missing"
+            );
+        }
+        let rendered = serde_json::to_string(tl).expect("serialize timelines");
+        match &timelines {
+            None => timelines = Some(rendered),
+            Some(first) => assert_eq!(
+                first, &rendered,
+                "timelines section changed at --shards {shards}"
+            ),
+        }
+
+        // Trace sinks wrote valid, parseable output.
+        let chrome_doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(&chrome).expect("chrome trace file"))
+                .expect("chrome trace parses as JSON");
+        let events = chrome_doc.as_array().expect("trace-event array");
+        assert!(!events.is_empty(), "empty chrome trace");
+        for ev in events {
+            assert!(ev.get("ph").is_some(), "trace event missing ph: {ev:?}");
+        }
+        let jsonl_text = std::fs::read_to_string(&jsonl).expect("jsonl trace file");
+        let mut saw_summary = false;
+        for line in jsonl_text.lines() {
+            let rec: Value = serde_json::from_str(line).expect("jsonl line parses");
+            if rec.get("type").and_then(Value::as_str) == Some("summary") {
+                saw_summary = true;
+            }
+        }
+        assert!(saw_summary, "jsonl trace missing its summary line");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }
