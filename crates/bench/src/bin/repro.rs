@@ -102,6 +102,17 @@ struct Args {
     /// Results are bit-identical at every value — like `--threads`, this
     /// only trades wall-clock time.
     shards: usize,
+    /// `--addr` listen address for `serve`.
+    addr: String,
+    /// `--workers` job worker threads for `serve`.
+    workers: usize,
+    /// `--queue-cap` pending-job queue bound for `serve`.
+    queue_cap: usize,
+    /// `--pool-bytes` world-pool byte budget for `serve` (None: entry
+    /// bound only).
+    pool_bytes: Option<u64>,
+    /// Job-spec file following the `job` subcommand.
+    job_spec: Option<String>,
 }
 
 fn usage_text() -> String {
@@ -111,7 +122,10 @@ fn usage_text() -> String {
          \x20      repro sweep <SPEC.json|PRESET> [--replicates N] [other flags]\n\
          \x20      repro check [--faults N] [--fuzz N] [other flags]\n\
          \x20      repro bench [--json PATH] [--quick] [--compare OLD.json] [other flags]\n\
-         \x20      repro profile <EXPERIMENT> [other flags]\n\nexperiments:\n",
+         \x20      repro profile <EXPERIMENT> [other flags]\n\
+         \x20      repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20            [--pool-bytes N] [other flags]\n\
+         \x20      repro job <SPEC.json> [other flags]\n\nexperiments:\n",
     );
     for chunk in EXPERIMENTS.chunks(8) {
         s.push_str("  ");
@@ -141,7 +155,13 @@ fn usage_text() -> String {
          \x20                   Perfetto); shards appear as separate tracks\n\
          \x20 --compare OLD     bench: compare against a previous result file,\n\
          \x20                   exit 1 past the tolerance unless --warn-only\n\
-         \x20 --warn-only       bench: report --compare regressions, never fail\n",
+         \x20 --warn-only       bench: report --compare regressions, never fail\n\
+         \x20 --addr HOST:PORT  serve: listen address (default 127.0.0.1:8080,\n\
+         \x20                   port 0 picks a free port)\n\
+         \x20 --workers N       serve: job worker threads (default 2)\n\
+         \x20 --queue-cap N     serve: pending-job queue bound (default 256)\n\
+         \x20 --pool-bytes N    serve: world-pool byte budget (default: entry\n\
+         \x20                   bound only)\n",
     );
     s
 }
@@ -181,6 +201,11 @@ fn parse_args() -> Args {
         json_out: None,
         quick: false,
         shards: 0,
+        addr: "127.0.0.1:8080".into(),
+        workers: 2,
+        queue_cap: 256,
+        pool_bytes: None,
+        job_spec: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -280,6 +305,34 @@ fn parse_args() -> Args {
                 )
             }
             "--warn-only" => args.warn_only = true,
+            "--addr" => {
+                args.addr = it
+                    .next()
+                    .unwrap_or_else(|| bad_usage("--addr requires HOST:PORT"))
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_usage("--workers requires a numeric count"))
+            }
+            "--queue-cap" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_usage("--queue-cap requires a positive count"));
+                if n == 0 {
+                    bad_usage("--queue-cap requires a positive count");
+                }
+                args.queue_cap = n;
+            }
+            "--pool-bytes" => {
+                args.pool_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_usage("--pool-bytes requires a byte count")),
+                )
+            }
             "--help" | "-h" => {
                 print!("{}", usage_text());
                 std::process::exit(0);
@@ -288,9 +341,13 @@ fn parse_args() -> Args {
             "check" => args.experiment = "check".to_string(),
             "bench" => args.experiment = "bench".to_string(),
             "profile" => args.experiment = "profile".to_string(),
+            "serve" => args.experiment = "serve".to_string(),
+            "job" => args.experiment = "job".to_string(),
             other if !other.starts_with('-') => {
                 if args.experiment == "sweep" && args.sweep_spec.is_none() {
                     args.sweep_spec = Some(other.to_string());
+                } else if args.experiment == "job" && args.job_spec.is_none() {
+                    args.job_spec = Some(other.to_string());
                 } else if args.experiment == "profile" && args.profile_target.is_none() {
                     if !EXPERIMENTS.contains(&other) {
                         unknown("experiment", other);
@@ -891,72 +948,30 @@ fn run_bench_command(args: &Args) {
 }
 
 fn run_sweep_command(args: &Args, spec_arg: &str) {
-    let _run = rp_obs::span("repro.run");
     let spec = resolve_spec(spec_arg);
-    let cfg = rp_scenario::SweepConfig {
-        seed: args.seed,
-        paper_scale: args.paper_scale(),
-        replicates: args.replicates.unwrap_or(spec.default_replicates),
-        confidence: 0.95,
-        resamples: 400,
-        shards: args.shards,
-    };
-    let cells = spec.cells();
     let t0 = Instant::now();
     eprintln!(
         "sweep {}: {} cells x {} replicates (scale={}, seed={})...",
         spec.name,
-        cells.len(),
-        cfg.replicates,
+        spec.cells().len(),
+        args.replicates.unwrap_or(spec.default_replicates),
         args.scale,
         args.seed
     );
-    let out = rp_scenario::run_sweep(&spec, &cfg);
+    // The shared job path: `repro serve` runs the same function, which is
+    // what keeps served sweep artifacts byte-identical to CLI ones.
+    let result = rp_server::run_job(&rp_server::JobSpec::Sweep {
+        spec,
+        seed: args.seed,
+        paper_scale: args.paper_scale(),
+        replicates: args.replicates,
+        shards: args.shards,
+    });
     eprintln!("  done [{:.1?}]", t0.elapsed());
 
-    println!(
-        "==== sweep:{} {}",
-        spec.name,
-        "=".repeat(54_usize.saturating_sub(spec.name.len()))
-    );
-    if let Some(cells) = out.get("cells").and_then(serde_json::Value::as_array) {
-        for cell in cells {
-            let label = cell
-                .get("label")
-                .and_then(serde_json::Value::as_str)
-                .unwrap_or("?");
-            let mark = if cell.get("baseline") == Some(&serde_json::Value::Bool(true)) {
-                " [baseline]"
-            } else {
-                ""
-            };
-            println!("{label}{mark}");
-            for name in ["precision", "recall", "remote_fraction", "econ_margin"] {
-                let m = cell.get("metrics").and_then(|ms| ms.get(name));
-                let mean = m
-                    .and_then(|m| m.get("mean"))
-                    .and_then(serde_json::Value::as_f64)
-                    .unwrap_or(f64::NAN);
-                let ci = m
-                    .and_then(|m| m.get("t_ci"))
-                    .and_then(serde_json::Value::as_array);
-                let (lo, hi) = match ci {
-                    Some(b) if b.len() == 2 => (
-                        b[0].as_f64().unwrap_or(f64::NAN),
-                        b[1].as_f64().unwrap_or(f64::NAN),
-                    ),
-                    _ => (f64::NAN, f64::NAN),
-                };
-                println!("  {name:>16}  {mean:8.4}  95% CI [{lo:8.4}, {hi:8.4}]");
-            }
-        }
-    }
-
-    let path = args.out.join("sweeps").join(format!("{}.json", spec.name));
-    write_output(
-        &path,
-        &serde_json::to_string_pretty(&out).expect("serialize sweep output"),
-    );
+    print!("{}", result.digest);
+    let path = args.out.join(result.artifact_rel_path());
+    write_output(&path, &result.artifact);
     eprintln!("sweep results: {}", path.display());
 }
 
@@ -976,56 +991,18 @@ fn run_check_command(args: &Args, report_path: Option<&Path>) -> bool {
         "check: {} fault trials, {} fuzz iterations (scale={}, seed={})...",
         cfg.fault_trials, cfg.fuzz_iters, args.scale, args.seed
     );
-    let outcome = {
-        // Scoped so the `repro.run` span flushes before the run report
-        // snapshots the span tree below.
-        let _run = rp_obs::span("repro.run");
-        rp_testkit::run_check(&cfg)
-    };
+    // Runs through the shared job path (`rp_server::run_job`) so `repro
+    // serve` produces the identical report and stdout digest; the
+    // `repro.run` span is scoped inside it, flushing before the run
+    // report snapshots the span tree below.
+    let result = rp_server::run_job(&rp_server::JobSpec::Check(cfg));
     eprintln!("  done [{:.1?}]", t0.elapsed());
 
-    println!("==== check {}", "=".repeat(55));
-    println!(
-        "injected link faults: {} across {} transmit decisions",
-        outcome.injected.total(),
-        outcome.injected.decisions
-    );
-    for (kind, n) in outcome.injected.by_kind() {
-        println!("  {:>18}  {n}", kind.key());
-    }
-    println!(
-        "scene faults: {} stale registry rows, {} dropped LG vantages",
-        outcome.scene.stale_rows, outcome.scene.dropped_lgs
-    );
-    println!(
-        "analyzed interfaces: {} clean, {} faulted",
-        outcome.clean_analyzed, outcome.faulted_analyzed
-    );
-    println!(
-        "invariants: {} checks, {} violations",
-        outcome.harness.checks,
-        outcome.harness.violations.len()
-    );
-    for v in &outcome.harness.violations {
-        println!("  VIOLATION {}: {}", v.invariant, v.detail);
-    }
-    println!(
-        "fuzz: {} iterations per target, {} panics",
-        outcome.fuzz.iterations,
-        outcome.fuzz.panics.len()
-    );
-    for p in &outcome.fuzz.panics {
-        println!("  PANIC {p}");
-    }
-    let verdict = if outcome.passed() { "PASS" } else { "FAIL" };
-    println!("check: {verdict}");
-
-    let doc = outcome.to_json();
-    let path = args.out.join("check_report.json");
-    let mut text = serde_json::to_string_pretty(&doc).expect("serialize check report");
-    text.push('\n');
-    write_output(&path, &text);
+    print!("{}", result.digest);
+    let path = args.out.join(result.artifact_rel_path());
+    write_output(&path, &result.artifact);
     eprintln!("check report: {}", path.display());
+    let doc = result.doc;
 
     // `--report` additionally wraps the outcome in an rp-obs run report
     // with the span tree and metrics (wall-clock content, so it lives in
@@ -1049,7 +1026,7 @@ fn run_check_command(args: &Args, report_path: Option<&Path>) -> bool {
         eprintln!("run report: {}", rp.display());
     }
 
-    outcome.passed()
+    result.passed
 }
 
 fn write_report(path: &Path, args: &Args, artifacts: &RunArtifacts) {
@@ -1134,6 +1111,75 @@ fn run_profile_command(args: &mut Args) {
     }
 }
 
+/// The `serve` subcommand: bind the job service and run until SIGTERM,
+/// SIGINT, or `POST /v1/shutdown`, then drain — finish every accepted
+/// job, flush artifacts under `--out`, and return so the process exits 0.
+fn run_serve_command(args: &Args) {
+    let cfg = rp_server::ServeConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        queue_capacity: args.queue_cap,
+        pool_bytes: args.pool_bytes,
+        results_dir: Some(args.out.clone()),
+        ..rp_server::ServeConfig::default()
+    };
+    let server = match rp_server::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    // The e2e drain test and CI parse this line for the resolved address.
+    eprintln!("serving on {}", server.local_addr());
+    eprintln!(
+        "  {} workers, queue cap {}, results under {}",
+        args.workers,
+        args.queue_cap,
+        args.out.display()
+    );
+    let stats = server.run_until_signal();
+    eprintln!(
+        "drained: {} done, {} failed, {} cancelled",
+        stats.done, stats.failed, stats.cancelled
+    );
+}
+
+/// The `job` subcommand: run one job envelope from a file, exactly as a
+/// `repro serve` worker would, and write its artifact under `--out`.
+/// Exists so tests and scripts can byte-compare served results against a
+/// fresh single-job run. Returns whether the job's own verdict passed.
+fn run_job_command(args: &Args, spec_arg: &str) -> bool {
+    let text = std::fs::read_to_string(spec_arg).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {spec_arg}: {e}");
+        std::process::exit(2);
+    });
+    let value: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {spec_arg}: JSON parse error: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match rp_server::JobSpec::parse(&value) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {spec_arg}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = Instant::now();
+    eprintln!("job {} ({})...", spec.id(), spec.kind());
+    let result = rp_server::run_job(&spec);
+    eprintln!("  done [{:.1?}]", t0.elapsed());
+
+    print!("{}", result.digest);
+    let path = args.out.join(result.artifact_rel_path());
+    write_output(&path, &result.artifact);
+    eprintln!("job result: {}", path.display());
+    result.passed
+}
+
 fn main() {
     let mut args = parse_args();
     let report_path = args.report.as_ref().map(|p| {
@@ -1156,6 +1202,7 @@ fn main() {
         || args.trace
         || rp_obs::trace::active()
         || args.experiment == "profile"
+        || args.experiment == "serve"
     {
         rp_obs::enable();
     }
@@ -1166,6 +1213,24 @@ fn main() {
         .build_global()
         .expect("install global thread pool");
     eprintln!("worker threads: {}", rayon::current_num_threads());
+
+    if args.experiment == "serve" {
+        run_serve_command(&args);
+        return;
+    }
+
+    if args.experiment == "job" {
+        let spec_arg = args
+            .job_spec
+            .clone()
+            .unwrap_or_else(|| bad_usage("job requires a spec file"));
+        let passed = run_job_command(&args, &spec_arg);
+        finish_trace();
+        if !passed {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if args.experiment == "check" {
         let passed = run_check_command(&args, report_path.as_deref());

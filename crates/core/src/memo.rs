@@ -22,8 +22,13 @@
 //!   still be probed, but its results are filed under the nonce and can
 //!   never be confused with the pristine build.
 //!
-//! The caches are small bounded FIFOs (eight entries each — enough to keep
-//! a sweep preset's replicate set resident) guarded by plain mutexes. The
+//! The probe cache is a small bounded LRU (eight entries — enough to keep
+//! a sweep preset's replicate set resident) guarded by a plain mutex. The
+//! world cache is the **world pool**: the same LRU discipline, but with a
+//! configurable entry cap and an optional byte budget
+//! ([`configure_world_pool`]) so a long-running `repro serve` process can
+//! keep many warm worlds resident without unbounded growth. Eviction is a
+//! pure performance policy — results are identical with a cold pool. The
 //! lock is **not** held while building or probing: two threads racing on
 //! the same key may both compute, but the results are deterministic and
 //! identical, so the loser's copy is simply dropped.
@@ -32,7 +37,7 @@ use crate::probe::InterfaceSamples;
 use crate::world::World;
 use rp_types::IxpId;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Raw per-IXP campaign output, as produced by
@@ -78,39 +83,90 @@ pub(crate) fn mutation_nonce() -> u64 {
     (1 << 63) | NONCE.fetch_add(1, Ordering::Relaxed)
 }
 
-/// A bounded FIFO of `(key, shared value)` pairs behind a mutex.
-type FifoCache<K, V> = Mutex<VecDeque<(K, Arc<V>)>>;
+/// A bounded LRU of `(key, shared value)` pairs behind a mutex. The back
+/// of the deque is most-recently-used; eviction pops the front.
+type LruCache<K, V> = Mutex<VecDeque<(K, Arc<V>)>>;
 
-fn world_cache() -> &'static FifoCache<u64, World> {
-    static CACHE: OnceLock<FifoCache<u64, World>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(VecDeque::new()))
+/// The world pool: LRU entries annotated with their estimated resident
+/// size so the byte budget can evict by weight, not just count.
+struct WorldPool {
+    entries: Mutex<VecDeque<(u64, Arc<World>, u64)>>,
+    /// Entry cap (always >= 1).
+    max_entries: AtomicUsize,
+    /// Byte budget; 0 means "entry cap only".
+    max_bytes: AtomicU64,
 }
 
-fn probe_cache() -> &'static FifoCache<(u64, u64), ProbeSet> {
-    static CACHE: OnceLock<FifoCache<(u64, u64), ProbeSet>> = OnceLock::new();
+fn world_pool() -> &'static WorldPool {
+    static POOL: OnceLock<WorldPool> = OnceLock::new();
+    POOL.get_or_init(|| WorldPool {
+        entries: Mutex::new(VecDeque::new()),
+        max_entries: AtomicUsize::new(CACHE_CAP),
+        max_bytes: AtomicU64::new(0),
+    })
+}
+
+/// Configure the world pool's bounds: an entry cap and an optional byte
+/// budget over [`World::approx_bytes`] estimates. The default is the
+/// eight-entry cap with no byte budget — right for one-shot CLI runs;
+/// `repro serve` raises the entry cap and sets a budget so a long-lived
+/// process bounds its resident set by memory, not by a guess at how many
+/// distinct configs its clients rotate through. Shrinking the bounds
+/// evicts immediately (oldest first). Purely a performance knob: cached
+/// and freshly built worlds are bit-identical.
+pub fn configure_world_pool(max_entries: usize, max_bytes: Option<u64>) {
+    let pool = world_pool();
+    pool.max_entries
+        .store(max_entries.max(1), Ordering::Relaxed);
+    pool.max_bytes
+        .store(max_bytes.unwrap_or(0), Ordering::Relaxed);
+    let mut entries = pool.entries.lock().expect("memo cache lock");
+    evict_to_bounds(pool, &mut entries);
+}
+
+/// Resident world-pool load: `(entries, estimated bytes)`.
+pub fn world_pool_stats() -> (usize, u64) {
+    let entries = world_pool().entries.lock().expect("memo cache lock");
+    let bytes = entries.iter().map(|(_, _, b)| b).sum();
+    (entries.len(), bytes)
+}
+
+/// Drop least-recently-used entries until both bounds hold. The byte
+/// budget never evicts the last entry: a single world larger than the
+/// budget still caches (evicting it would just thrash rebuilds).
+fn evict_to_bounds(pool: &WorldPool, entries: &mut VecDeque<(u64, Arc<World>, u64)>) {
+    let max_entries = pool.max_entries.load(Ordering::Relaxed).max(1);
+    let max_bytes = pool.max_bytes.load(Ordering::Relaxed);
+    let mut total: u64 = entries.iter().map(|(_, _, b)| b).sum();
+    while entries.len() > max_entries || (max_bytes > 0 && total > max_bytes && entries.len() > 1) {
+        if let Some((_, _, b)) = entries.pop_front() {
+            total -= b;
+            rp_obs::counter!("core.memo.world_evict").add(1);
+        }
+    }
+    rp_obs::gauge!("core.memo.world_bytes").record_max(total);
+}
+
+fn probe_cache() -> &'static LruCache<(u64, u64), ProbeSet> {
+    static CACHE: OnceLock<LruCache<(u64, u64), ProbeSet>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(VecDeque::new()))
 }
 
 /// Look `key` up in `cache`, computing (outside the lock) and inserting on
-/// a miss. On a concurrent double-compute the first inserter wins and the
-/// second copy is dropped — both are deterministic, so either is correct.
+/// a miss; hits move to the back (most-recently-used). On a concurrent
+/// double-compute the first inserter wins and the second copy is dropped —
+/// both are deterministic, so either is correct.
 fn get_or_insert<K: Eq + Copy, V>(
-    cache: &FifoCache<K, V>,
+    cache: &LruCache<K, V>,
     key: K,
     compute: impl FnOnce() -> V,
 ) -> Arc<V> {
-    if let Some(hit) = cache
-        .lock()
-        .expect("memo cache lock")
-        .iter()
-        .find(|(k, _)| *k == key)
-        .map(|(_, v)| v.clone())
-    {
+    if let Some(hit) = lru_find(&mut cache.lock().expect("memo cache lock"), key) {
         return hit;
     }
     let value = Arc::new(compute());
     let mut c = cache.lock().expect("memo cache lock");
-    if let Some(raced) = c.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone()) {
+    if let Some(raced) = lru_find(&mut c, key) {
         return raced;
     }
     while c.len() >= CACHE_CAP {
@@ -120,18 +176,42 @@ fn get_or_insert<K: Eq + Copy, V>(
     value
 }
 
+/// Find `key`, moving its entry to the most-recently-used position.
+fn lru_find<K: Eq + Copy, V>(entries: &mut VecDeque<(K, Arc<V>)>, key: K) -> Option<Arc<V>> {
+    let pos = entries.iter().position(|(k, _)| *k == key)?;
+    let entry = entries.remove(pos).expect("position came from this deque");
+    let value = entry.1.clone();
+    entries.push_back(entry);
+    Some(value)
+}
+
 /// Fetch or build the world keyed `fp` (the fingerprint of its config).
 pub(crate) fn world_cached(fp: u64, build: impl FnOnce() -> World) -> Arc<World> {
-    let mut missed = false;
-    let world = get_or_insert(world_cache(), fp, || {
-        missed = true;
-        build()
-    });
-    if missed {
-        rp_obs::counter!("core.memo.world_miss").add(1);
-    } else {
-        rp_obs::counter!("core.memo.world_hit").add(1);
+    let pool = world_pool();
+    {
+        let mut entries = pool.entries.lock().expect("memo cache lock");
+        if let Some(pos) = entries.iter().position(|(k, _, _)| *k == fp) {
+            let entry = entries.remove(pos).expect("position came from this deque");
+            let world = entry.1.clone();
+            entries.push_back(entry);
+            rp_obs::counter!("core.memo.world_hit").add(1);
+            return world;
+        }
     }
+    let world = Arc::new(build());
+    let bytes = world.approx_bytes();
+    let mut entries = pool.entries.lock().expect("memo cache lock");
+    if let Some(pos) = entries.iter().position(|(k, _, _)| *k == fp) {
+        let entry = entries.remove(pos).expect("position came from this deque");
+        let raced = entry.1.clone();
+        entries.push_back(entry);
+        rp_obs::counter!("core.memo.world_hit").add(1);
+        return raced;
+    }
+    entries.push_back((fp, world.clone(), bytes));
+    evict_to_bounds(pool, &mut entries);
+    drop(entries);
+    rp_obs::counter!("core.memo.world_miss").add(1);
     world
 }
 
@@ -207,6 +287,54 @@ mod tests {
         let first = mutated.fingerprint();
         mutated.mark_mutated();
         assert_ne!(mutated.fingerprint(), first);
+    }
+
+    #[test]
+    fn lru_hit_protects_an_entry_from_eviction() {
+        let cache: Mutex<VecDeque<(u64, Arc<u64>)>> = Mutex::new(VecDeque::new());
+        for k in 0..CACHE_CAP as u64 {
+            get_or_insert(&cache, k, || k);
+        }
+        // Touching key 0 makes it most-recently-used, so the next insert
+        // evicts key 1 instead.
+        let hit = get_or_insert(&cache, 0, || 999);
+        assert_eq!(*hit, 0, "must be a hit, not a recompute");
+        get_or_insert(&cache, 100, || 100);
+        let c = cache.lock().unwrap();
+        assert!(c.iter().any(|(k, _)| *k == 0), "recently used key survives");
+        assert!(
+            !c.iter().any(|(k, _)| *k == 1),
+            "oldest untouched key evicts"
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first_but_keeps_the_last_entry() {
+        let world = Arc::new(World::build(&WorldConfig::test_scale(4301)));
+        assert!(world.approx_bytes() > 0);
+        let pool = WorldPool {
+            entries: Mutex::new(VecDeque::new()),
+            max_entries: AtomicUsize::new(8),
+            max_bytes: AtomicU64::new(0),
+        };
+        let mut e = pool.entries.lock().unwrap();
+        for k in 0..4u64 {
+            e.push_back((k, world.clone(), 100));
+        }
+        // No budget: everything under the entry cap stays.
+        evict_to_bounds(&pool, &mut e);
+        assert_eq!(e.len(), 4);
+        // 250-byte budget: the two oldest 100-byte entries go.
+        pool.max_bytes.store(250, Ordering::Relaxed);
+        evict_to_bounds(&pool, &mut e);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.front().unwrap().0, 2);
+        // A budget smaller than any single entry keeps the last survivor:
+        // evicting it would only thrash rebuilds.
+        pool.max_bytes.store(10, Ordering::Relaxed);
+        evict_to_bounds(&pool, &mut e);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.front().unwrap().0, 3);
     }
 
     #[test]

@@ -251,6 +251,20 @@ impl World {
     pub fn studied_ixps(&self) -> Vec<IxpId> {
         self.scene.studied().map(|x| x.id).collect()
     }
+
+    /// Order-of-magnitude estimate of this world's resident size, for the
+    /// memo pool's byte budget ([`crate::memo::configure_world_pool`]).
+    /// Charges a flat per-AS, per-interface, and per-IXP weight for the
+    /// topology rows, routing view, scene, and registry — deliberately
+    /// coarse: the budget exists to bound a long-running server's memory,
+    /// not to account allocations exactly, and the weights only need to
+    /// scale with the same knobs the builders scale with.
+    pub fn approx_bytes(&self) -> u64 {
+        let ases = self.topology.len() as u64;
+        let interfaces = self.scene.total_interfaces() as u64;
+        let ixps = self.scene.ixps.len() as u64;
+        std::mem::size_of::<World>() as u64 + ases * 700 + interfaces * 350 + ixps * 2_000
+    }
 }
 
 fn city_index(name: &str) -> u16 {

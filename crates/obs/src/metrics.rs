@@ -276,6 +276,18 @@ pub const CATALOG: &[CatalogEntry] = &[
         doc: "Campaign probe-set memo misses (campaign actually ran)",
     },
     CatalogEntry {
+        name: "core.memo.world_bytes",
+        kind: "gauge",
+        scale: "bytes",
+        doc: "High-water estimated bytes resident in the world pool",
+    },
+    CatalogEntry {
+        name: "core.memo.world_evict",
+        kind: "counter",
+        scale: "worlds",
+        doc: "World-pool entries evicted by the LRU entry/byte bounds",
+    },
+    CatalogEntry {
         name: "core.memo.world_hit",
         kind: "counter",
         scale: "lookups",
@@ -394,6 +406,66 @@ pub const CATALOG: &[CatalogEntry] = &[
         kind: "counter",
         scale: "groups",
         doc: "Distinct world configurations a sweep built (cells sharing a world)",
+    },
+    CatalogEntry {
+        name: "server.http.errors",
+        kind: "counter",
+        scale: "responses",
+        doc: "HTTP error responses (status >= 400) returned by repro serve",
+    },
+    CatalogEntry {
+        name: "server.http.requests",
+        kind: "counter",
+        scale: "requests",
+        doc: "HTTP connections handled by repro serve",
+    },
+    CatalogEntry {
+        name: "server.jobs.cancelled",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Queued jobs cancelled before a worker picked them up",
+    },
+    CatalogEntry {
+        name: "server.jobs.completed",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Jobs that ran to completion (state done)",
+    },
+    CatalogEntry {
+        name: "server.jobs.deduped",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Submissions answered by an existing job with the same spec fingerprint",
+    },
+    CatalogEntry {
+        name: "server.jobs.failed",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Jobs whose run panicked or whose result could not be flushed",
+    },
+    CatalogEntry {
+        name: "server.jobs.rejected",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Submissions refused with 429 because the pending queue was full",
+    },
+    CatalogEntry {
+        name: "server.jobs.run_ms",
+        kind: "histogram",
+        scale: "ms",
+        doc: "Wall time each job spent running on a worker",
+    },
+    CatalogEntry {
+        name: "server.jobs.submitted",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Job submissions accepted into the pending queue",
+    },
+    CatalogEntry {
+        name: "server.queue.depth_hwm",
+        kind: "gauge",
+        scale: "jobs",
+        doc: "High-water mark of the pending-job queue depth",
     },
     CatalogEntry {
         name: "testkit.faults.injected",

@@ -103,6 +103,35 @@ pub fn metrics_json() -> Value {
     Value::Object(entries)
 }
 
+/// A live progress snapshot for long-running work, assembled from the
+/// metric registry and the flushed span tree.
+///
+/// Counters and gauges are plain atomics, so their values here move while
+/// instrumented work is still running; histograms are summarized to their
+/// count and sum. Spans only appear after their root closes (collectors
+/// flush at outermost-span exit), so the `spans` section reflects
+/// *completed* units of work. The snapshot is process-wide by design —
+/// `repro serve` exposes it per job-status request as "what the pipeline
+/// has done so far", not as per-job attribution.
+pub fn progress_snapshot() -> Value {
+    let counters: Vec<(String, Value)> = metrics::snapshot()
+        .into_iter()
+        .map(|(name, v)| {
+            let value = match v {
+                MetricValue::Counter(n) => json!(n),
+                MetricValue::Gauge(n) => json!(n),
+                MetricValue::Histogram { count, sum, .. } => json!({"count": count, "sum": sum}),
+            };
+            (name.to_string(), value)
+        })
+        .collect();
+    let spans: Vec<Value> = span::snapshot_tree()
+        .iter()
+        .map(|n| json!({"name": n.name, "count": n.count, "total_ns": n.total_ns}))
+        .collect();
+    json!({"counters": Value::Object(counters), "spans": spans})
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)

@@ -401,6 +401,22 @@ impl ScenarioSpec {
         })
     }
 
+    /// Resolve a spec *reference* from JSON: `{"preset": "smoke"}` names a
+    /// built-in preset, any other object is parsed as an inline spec. The
+    /// library form of the CLI's file-or-preset argument, so services can
+    /// accept sweep submissions without shelling out.
+    pub fn resolve_value(v: &Value) -> Result<ScenarioSpec, SpecError> {
+        if let Some(name) = v.get("preset").and_then(Value::as_str) {
+            return ScenarioSpec::preset(name).ok_or_else(|| SpecError {
+                message: format!(
+                    "no preset named {name:?} (presets: {})",
+                    ScenarioSpec::preset_names().join(", ")
+                ),
+            });
+        }
+        ScenarioSpec::parse(v)
+    }
+
     /// A built-in preset by name.
     pub fn preset(name: &str) -> Option<ScenarioSpec> {
         PRESETS
@@ -772,6 +788,20 @@ mod tests {
                 e.message
             );
         }
+    }
+
+    #[test]
+    fn resolve_value_accepts_presets_and_inline_specs() {
+        let preset = serde_json::from_str(r#"{"preset": "smoke"}"#).unwrap();
+        assert_eq!(ScenarioSpec::resolve_value(&preset).unwrap().name, "smoke");
+        let bogus = serde_json::from_str(r#"{"preset": "nope"}"#).unwrap();
+        let e = ScenarioSpec::resolve_value(&bogus).unwrap_err();
+        assert!(e.message.contains("nope"), "{}", e.message);
+        let inline = serde_json::from_str(
+            r#"{"name": "t", "axes": [{"param": "threshold_ms", "values": [5]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ScenarioSpec::resolve_value(&inline).unwrap().name, "t");
     }
 
     #[test]

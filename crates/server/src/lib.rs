@@ -1,0 +1,33 @@
+//! # rp-server: the reproduction pipeline as a long-running job service
+//!
+//! `repro serve` wraps the existing sweep/check/campaign machinery in a
+//! small HTTP/1.1 job API so repeated reproduction runs share one warm
+//! process — and, through the world pool in `remote_peering::memo`, one
+//! set of memoized world builds — instead of paying cold-start per
+//! invocation.
+//!
+//! The crate splits into four layers:
+//!
+//! - [`http`]: a hand-rolled, hard-capped HTTP/1.1 subset over
+//!   `std::net` (no external dependencies, one request per connection);
+//! - [`job`]: job envelopes ([`job::JobSpec`]) and the shared
+//!   [`job::run_job`] entry point the CLI subcommands call too, which is
+//!   what makes served artifacts byte-identical to CLI artifacts *by
+//!   construction*;
+//! - [`queue`]: the bounded job queue, per-job state machine, and worker
+//!   pool;
+//! - [`service`]: the accept loop, request routing, and the
+//!   graceful-drain protocol ([`service::Server::run_until_signal`]).
+//!
+//! Determinism: a job's artifact bytes depend only on its spec — never on
+//! the worker count, queue order, pool state, or whether the CLI or the
+//! server ran it. The server adds *scheduling*, not *semantics*.
+
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod service;
+
+pub use job::{run_job, JobResult, JobSpec};
+pub use queue::{JobQueue, JobState, Submit};
+pub use service::{ServeConfig, Server};

@@ -1,0 +1,226 @@
+//! HTTP-layer hardening tests: malformed requests, oversized bodies,
+//! unknown routes, wrong methods, and slow-loris clients all get a bounded
+//! response — a status code plus a one-line JSON error — never a hang or
+//! a dropped connection.
+
+use rp_server::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A server with no workers (these tests never run jobs) on an ephemeral
+/// port, with a short read timeout so the slow-loris test stays fast.
+fn test_server() -> Server {
+    Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .expect("bind test server")
+}
+
+/// Send raw bytes, read the whole response (the server closes the
+/// connection), and split it into (status, body).
+fn raw_request(server: &Server, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    stream.write_all(bytes).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(raw).to_string();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+fn request(server: &Server, method: &str, path: &str, body: &str) -> (u16, String) {
+    raw_request(
+        server,
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Every error body must be exactly one JSON line with an "error" key.
+fn assert_one_line_error(body: &str) {
+    assert_eq!(body.matches('\n').count(), 1, "not one line: {body:?}");
+    assert!(body.ends_with('\n'), "no trailing newline: {body:?}");
+    let doc: serde_json::Value = serde_json::from_str(body.trim_end()).expect("error body is JSON");
+    assert!(
+        doc.get("error")
+            .and_then(serde_json::Value::as_str)
+            .is_some(),
+        "no error key: {body:?}"
+    );
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let server = test_server();
+    for garbage in [
+        "NOT-A-REQUEST\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /healthz\r\n\r\n",
+        "GET /healthz HTTP/1.1 extra\r\n\r\n",
+        "GET healthz HTTP/1.1\r\n\r\n",
+        "GET /healthz SPDY/3\r\n\r\n",
+    ] {
+        let (status, body) = raw_request(&server, garbage.as_bytes());
+        assert_eq!(status, 400, "for {garbage:?}");
+        assert_one_line_error(&body);
+    }
+    server.join();
+}
+
+#[test]
+fn unknown_routes_get_404_and_wrong_methods_405() {
+    let server = test_server();
+    let (status, body) = request(&server, "GET", "/v2/nope", "");
+    assert_eq!(status, 404);
+    assert_one_line_error(&body);
+
+    let (status, body) = request(&server, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+    assert_one_line_error(&body);
+
+    let (status, body) = request(&server, "PUT", "/v1/jobs", "");
+    assert_eq!(status, 405);
+    assert_one_line_error(&body);
+    server.join();
+}
+
+#[test]
+fn oversized_bodies_get_413_without_being_read() {
+    let server = test_server();
+    // Declare 2 MiB but send nothing: the server must answer from the
+    // headers alone.
+    let (status, body) = raw_request(
+        &server,
+        b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 2097152\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    assert_one_line_error(&body);
+    server.join();
+}
+
+#[test]
+fn chunked_encoding_is_rejected() {
+    let server = test_server();
+    let (status, body) = raw_request(
+        &server,
+        b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status, 400);
+    assert_one_line_error(&body);
+    server.join();
+}
+
+#[test]
+fn slow_loris_is_bounded_by_the_read_timeout() {
+    let server = test_server();
+    let t0 = Instant::now();
+    // Send half a request line and stall. The 300 ms read timeout (and
+    // its 4x overall deadline) must produce a 408 long before our own
+    // 10 s client timeout.
+    let (status, body) = raw_request(&server, b"GET /heal");
+    assert_eq!(status, 408);
+    assert_one_line_error(&body);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "slow-loris took {:?}",
+        t0.elapsed()
+    );
+    server.join();
+}
+
+#[test]
+fn bad_submissions_get_400_with_a_reason() {
+    let server = test_server();
+    let (status, body) = request(&server, "POST", "/v1/jobs", "{not json");
+    assert_eq!(status, 400);
+    assert_one_line_error(&body);
+
+    let (status, body) = request(&server, "POST", "/v1/jobs", r#"{"kind": "dance"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("dance"), "{body:?}");
+    assert_one_line_error(&body);
+
+    let (status, body) = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"kind": "campaign", "params": {"warp_factor": 9}}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("warp_factor"), "{body:?}");
+    assert_one_line_error(&body);
+    server.join();
+}
+
+#[test]
+fn bad_state_filters_get_400_and_good_ones_list() {
+    let server = test_server();
+    let (status, body) = request(&server, "GET", "/v1/jobs?state=paused", "");
+    assert_eq!(status, 400);
+    assert_one_line_error(&body);
+
+    let (status, body) = request(&server, "GET", "/v1/jobs?state=queued", "");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(body.trim_end()).unwrap();
+    assert!(doc
+        .get("jobs")
+        .and_then(serde_json::Value::as_array)
+        .is_some());
+    server.join();
+}
+
+#[test]
+fn healthz_and_metrics_answer() {
+    let server = test_server();
+    let (status, body) = request(&server, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(body.trim_end()).unwrap();
+    assert_eq!(
+        doc.get("status").and_then(serde_json::Value::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        doc.get("accepting").and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+
+    let (status, body) = request(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(serde_json::from_str(body.trim_end()).is_ok());
+
+    let (status, _) = request(&server, "GET", "/v1/jobs/deadbeef00000000", "");
+    assert_eq!(status, 404);
+    server.join();
+}
+
+#[test]
+fn shutdown_endpoint_drains() {
+    let server = test_server();
+    let (status, _) = request(&server, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 202);
+    // The drain flag flips before the 202 goes out, so the queue is
+    // already refusing work even if the accept loop lingers a poll tick.
+    assert!(!server.queue().accepting());
+    server.join();
+}

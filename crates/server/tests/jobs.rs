@@ -1,0 +1,227 @@
+//! Concurrency semantics of the job service, exercised in one test so the
+//! process-global memo counters stay attributable:
+//!
+//! - N parallel submissions of the same spec collapse to ONE job and ONE
+//!   world build (the memo-pool hit counters prove it), and every client
+//!   reads byte-identical result bytes;
+//! - a full queue answers 429 with a `Retry-After` header;
+//! - cancelling a queued job prevents it from ever running.
+
+use rp_server::{JobSpec, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<u8>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set timeout");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header block");
+    let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, raw[header_end + 4..].to_vec(), head)
+}
+
+fn parse_spec(text: &str) -> JobSpec {
+    JobSpec::parse(&serde_json::from_str(text).expect("test JSON")).expect("valid spec")
+}
+
+fn wait_done(addr: std::net::SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body, _) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&body)).unwrap();
+        match doc.get("state").and_then(serde_json::Value::as_str) {
+            Some("done") => return,
+            Some("failed") => panic!("job {id} failed: {doc}"),
+            Some("cancelled") => panic!("job {id} cancelled unexpectedly"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrency_semantics() {
+    rp_obs::enable();
+
+    // ---- Part 1: same-spec dedupe builds the world exactly once. ------
+    // Seed 9901 is unique to this test binary, so the world_miss delta
+    // below is attributable to these submissions alone.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let spec_text = r#"{"kind": "campaign", "seed": 9901, "params": {"threshold_ms": 15}}"#;
+
+    let misses_before = rp_obs::metrics::counter("core.memo.world_miss").get();
+    let outcomes: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, body, _) = request(addr, "POST", "/v1/jobs", spec_text);
+                    let doc: serde_json::Value =
+                        serde_json::from_str(&String::from_utf8_lossy(&body)).unwrap();
+                    let id = doc
+                        .get("id")
+                        .and_then(serde_json::Value::as_str)
+                        .expect("submission has an id")
+                        .to_string();
+                    (status, id)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let accepted = outcomes.iter().filter(|(s, _)| *s == 202).count();
+    let deduped = outcomes.iter().filter(|(s, _)| *s == 200).count();
+    assert_eq!(accepted, 1, "exactly one submission creates the job");
+    assert_eq!(deduped, 7, "the rest dedupe onto it");
+    let id = outcomes[0].1.clone();
+    assert!(outcomes.iter().all(|(_, i)| *i == id), "one shared job id");
+    assert_eq!(id, parse_spec(spec_text).id(), "id is content-addressed");
+
+    wait_done(addr, &id);
+    let misses_after = rp_obs::metrics::counter("core.memo.world_miss").get();
+    assert_eq!(
+        misses_after - misses_before,
+        1,
+        "eight submissions, one world build"
+    );
+    let deduped_counter = rp_obs::metrics::counter("server.jobs.deduped").get();
+    assert!(
+        deduped_counter >= 7,
+        "dedupe metric recorded: {deduped_counter}"
+    );
+
+    // Every client sees byte-identical result bytes, equal to an
+    // in-process run_job of the same spec.
+    let reference = rp_server::run_job(&parse_spec(spec_text)).artifact;
+    for _ in 0..8 {
+        let (status, body, _) = request(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+        assert_eq!(status, 200);
+        assert_eq!(String::from_utf8_lossy(&body), reference);
+    }
+    server.join();
+
+    // ---- Part 2: queue-full submissions get 429 + Retry-After. --------
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0, // nothing drains, so the queue actually fills
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    for threshold in [21, 22] {
+        let spec = format!(
+            "{{\"kind\": \"campaign\", \"seed\": 9902, \"params\": {{\"threshold_ms\": {threshold}}}}}"
+        );
+        let (status, _, _) = request(addr, "POST", "/v1/jobs", &spec);
+        assert_eq!(status, 202);
+    }
+    let spec = r#"{"kind": "campaign", "seed": 9902, "params": {"threshold_ms": 23}}"#;
+    let (status, body, head) = request(addr, "POST", "/v1/jobs", spec);
+    assert_eq!(status, 429);
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after: 1"),
+        "429 carries Retry-After: {head}"
+    );
+    let text = String::from_utf8_lossy(&body).to_string();
+    assert_eq!(text.matches('\n').count(), 1, "one-line error: {text:?}");
+    let rejected = rp_obs::metrics::counter("server.jobs.rejected").get();
+    assert!(rejected >= 1, "rejection metric recorded");
+    server.join();
+
+    // ---- Part 3: a cancelled queued job never runs. -------------------
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0, // keep everything queued while we cancel
+        ..ServeConfig::default()
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let mut ids = Vec::new();
+    for threshold in [31, 32, 33] {
+        let spec = format!(
+            "{{\"kind\": \"campaign\", \"seed\": 9903, \"params\": {{\"threshold_ms\": {threshold}}}}}"
+        );
+        let (status, body, _) = request(addr, "POST", "/v1/jobs", &spec);
+        assert_eq!(status, 202);
+        let doc: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&body)).unwrap();
+        ids.push(
+            doc.get("id")
+                .and_then(serde_json::Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+
+    let (status, _, _) = request(addr, "DELETE", &format!("/v1/jobs/{}", ids[1]), "");
+    assert_eq!(status, 200);
+    // Double-cancel and cancel-of-missing answer 409/404, not 200.
+    let (status, _, _) = request(addr, "DELETE", &format!("/v1/jobs/{}", ids[1]), "");
+    assert_eq!(status, 409);
+    let (status, _, _) = request(addr, "DELETE", "/v1/jobs/ffffffffffffffff", "");
+    assert_eq!(status, 404);
+
+    let misses_before = rp_obs::metrics::counter("core.memo.world_miss").get();
+    // Now let workers at the queue: jobs 0 and 2 run, job 1 must not.
+    let queue = std::sync::Arc::clone(server.queue());
+    let workers =
+        rp_server::JobQueue::spawn_workers(&queue, 2, rp_server::queue::WorkerContext::default());
+    queue.wait_until_idle();
+    for (i, id) in ids.iter().enumerate() {
+        let (status, body, _) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&body)).unwrap();
+        let state = doc.get("state").and_then(serde_json::Value::as_str);
+        if i == 1 {
+            assert_eq!(state, Some("cancelled"));
+            let (status, _, _) = request(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+            assert_eq!(status, 409, "cancelled jobs have no result");
+        } else {
+            assert_eq!(state, Some("done"));
+        }
+    }
+    // Three submissions, one cancelled: the two survivors share one
+    // seed-9903 world build.
+    let misses_after = rp_obs::metrics::counter("core.memo.world_miss").get();
+    assert_eq!(misses_after - misses_before, 1, "cancelled job never built");
+
+    server.join();
+    for h in workers {
+        h.join().unwrap();
+    }
+}

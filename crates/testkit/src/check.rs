@@ -62,6 +62,58 @@ impl Default for CheckConfig {
     }
 }
 
+impl CheckConfig {
+    /// Parse a check configuration from a JSON object — the library form
+    /// of the `repro check` flags, so services can accept check
+    /// submissions without shelling out. Recognized keys (all optional,
+    /// defaulting to the CLI's defaults): `seed`, `faults`, `fuzz`,
+    /// `scale` (`"test"` or `"paper"`), `shards`. Unknown keys are
+    /// rejected so a typo'd knob fails loudly instead of silently running
+    /// the default.
+    pub fn from_value(v: &Value) -> Result<CheckConfig, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "check config must be a JSON object".to_string())?;
+        let mut cfg = CheckConfig::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "kind" => {} // the job envelope's discriminant, not a knob
+                "seed" => {
+                    cfg.seed = val.as_u64().ok_or_else(|| {
+                        format!("\"seed\" must be a non-negative integer, got {val}")
+                    })?
+                }
+                "faults" => {
+                    cfg.fault_trials = val.as_u64().ok_or_else(|| {
+                        format!("\"faults\" must be a non-negative integer, got {val}")
+                    })?
+                }
+                "fuzz" => {
+                    cfg.fuzz_iters = val.as_u64().ok_or_else(|| {
+                        format!("\"fuzz\" must be a non-negative integer, got {val}")
+                    })?
+                }
+                "scale" => match val.as_str() {
+                    Some("test") => cfg.paper_scale = false,
+                    Some("paper") => cfg.paper_scale = true,
+                    _ => {
+                        return Err(format!(
+                            "\"scale\" must be \"test\" or \"paper\", got {val}"
+                        ))
+                    }
+                },
+                "shards" => {
+                    cfg.shards = val.as_u64().ok_or_else(|| {
+                        format!("\"shards\" must be a non-negative integer, got {val}")
+                    })? as usize
+                }
+                other => return Err(format!("unknown check config key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
 /// Everything one check run produced.
 #[derive(Debug)]
 pub struct CheckOutcome {
@@ -487,6 +539,31 @@ mod tests {
             serde_json::to_string(&b.to_json()).unwrap(),
             "check report must be a pure function of its config"
         );
+    }
+
+    #[test]
+    fn check_config_parses_from_json_and_rejects_typos() {
+        let v = serde_json::from_str(
+            r#"{"kind": "check", "seed": 7, "faults": 10, "fuzz": 20, "scale": "paper", "shards": 2}"#,
+        )
+        .unwrap();
+        let cfg = CheckConfig::from_value(&v).unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.fault_trials, 10);
+        assert_eq!(cfg.fuzz_iters, 20);
+        assert!(cfg.paper_scale);
+        assert_eq!(cfg.shards, 2);
+
+        let defaults = CheckConfig::from_value(&serde_json::from_str("{}").unwrap()).unwrap();
+        assert_eq!(defaults.fault_trials, 200);
+        assert_eq!(defaults.fuzz_iters, 500);
+
+        let typo = serde_json::from_str(r#"{"fautls": 10}"#).unwrap();
+        assert!(CheckConfig::from_value(&typo)
+            .unwrap_err()
+            .contains("fautls"));
+        let scale = serde_json::from_str(r#"{"scale": "huge"}"#).unwrap();
+        assert!(CheckConfig::from_value(&scale).is_err());
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! A std-only client for `repro serve`: submit a job, poll it to a
+//! terminal state, fetch the result, and (optionally) byte-compare it
+//! against a CLI-produced artifact.
+//!
+//! ```text
+//! repro serve --addr 127.0.0.1:8080 &
+//! repro sweep smoke --out results
+//! cargo run --example client -- --addr 127.0.0.1:8080 \
+//!     --job sweep --expect results/sweeps/smoke.json
+//! ```
+//!
+//! Exits 0 when the job completes (and matches `--expect`, if given),
+//! nonzero otherwise. CI uses this as the serve smoke test.
+
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    job: String,
+    seed: u64,
+    faults: u64,
+    fuzz: u64,
+    expect: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: client --addr HOST:PORT [--job sweep|check] [--seed N] \
+         [--faults N] [--fuzz N] [--expect FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        job: "sweep".to_string(),
+        seed: 42,
+        faults: 40,
+        fuzz: 60,
+        expect: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--job" => args.job = value("--job"),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--faults" => args.faults = value("--faults").parse().unwrap_or_else(|_| usage()),
+            "--fuzz" => args.fuzz = value("--fuzz").parse().unwrap_or_else(|_| usage()),
+            "--expect" => args.expect = Some(value("--expect")),
+            _ => usage(),
+        }
+    }
+    if args.addr.is_empty() || !matches!(args.job.as_str(), "sweep" | "check") {
+        usage();
+    }
+    args
+}
+
+/// One HTTP/1.1 request over a fresh connection (the server closes after
+/// each response). Returns `(status, body)`.
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header block");
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("response has a status code");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+fn json_body(body: &[u8]) -> Value {
+    serde_json::from_str(&String::from_utf8_lossy(body)).expect("response body is JSON")
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = match args.job.as_str() {
+        "sweep" => format!(
+            "{{\"kind\": \"sweep\", \"preset\": \"smoke\", \"seed\": {}}}",
+            args.seed
+        ),
+        _ => format!(
+            "{{\"kind\": \"check\", \"seed\": {}, \"faults\": {}, \"fuzz\": {}}}",
+            args.seed, args.faults, args.fuzz
+        ),
+    };
+
+    let (status, body) = http(&args.addr, "POST", "/v1/jobs", Some(&spec));
+    if status != 202 && status != 200 {
+        eprintln!(
+            "submit failed: HTTP {status}: {}",
+            String::from_utf8_lossy(&body).trim_end()
+        );
+        std::process::exit(1);
+    }
+    let doc = json_body(&body);
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("submission response has an id")
+        .to_string();
+    eprintln!("job {id} submitted (HTTP {status})");
+
+    let state = loop {
+        let (status, body) = http(&args.addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "status poll failed: {status}");
+        let doc = json_body(&body);
+        let state = doc
+            .get("state")
+            .and_then(Value::as_str)
+            .expect("status has a state")
+            .to_string();
+        match state.as_str() {
+            "done" | "failed" | "cancelled" => break state,
+            _ => std::thread::sleep(Duration::from_millis(150)),
+        }
+    };
+    if state != "done" {
+        eprintln!("job {id} ended {state}");
+        std::process::exit(1);
+    }
+
+    let (status, artifact) = http(&args.addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    if status != 200 {
+        eprintln!("result fetch failed: HTTP {status}");
+        std::process::exit(1);
+    }
+    eprintln!("job {id} done ({} artifact bytes)", artifact.len());
+
+    match &args.expect {
+        Some(path) => {
+            let expected = std::fs::read(path).expect("read --expect file");
+            if artifact == expected {
+                eprintln!("served artifact matches {path} byte-for-byte");
+            } else {
+                eprintln!(
+                    "MISMATCH: served artifact ({} bytes) differs from {path} ({} bytes)",
+                    artifact.len(),
+                    expected.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let mut stdout = std::io::stdout();
+            stdout.write_all(&artifact).expect("write artifact");
+        }
+    }
+}
