@@ -93,7 +93,18 @@ struct Args {
     faults: Option<u64>,
     /// `--fuzz` iteration count for `check` (default 500).
     fuzz: Option<u64>,
-    /// `--json` output path for `bench` (default `BENCH_6.json`).
+    /// `--reference-rebuild`: check builds its faulted arm by a full
+    /// from-scratch rebuild instead of the copy-on-write fork path. The
+    /// report and stdout digest are byte-identical either way — that is
+    /// what `tests/fork_equivalence.rs` proves — so this flag exists for
+    /// that proof and for timing the two paths against each other.
+    reference_rebuild: bool,
+    /// `--probe-rebuild`: sweep rebuilds every world and re-probes from
+    /// scratch instead of reusing memoized probe sets across cells.
+    /// Artifacts are byte-identical either way; this is the reference arm
+    /// the differential harness compares against.
+    probe_rebuild: bool,
+    /// `--json` output path for `bench` (default `BENCH_9.json`).
     json_out: Option<PathBuf>,
     /// `--quick` single-repetition smoke mode for `bench` (CI).
     quick: bool,
@@ -145,7 +156,13 @@ fn usage_text() -> String {
          \x20 --replicates N    sweep replicate seeds per cell (default: the spec's)\n\
          \x20 --faults N        check: perturbation trials (default 200)\n\
          \x20 --fuzz N          check: fuzzer iterations per target (default 500)\n\
-         \x20 --json PATH       bench: result file (default BENCH_6.json)\n\
+         \x20 --reference-rebuild  check: rebuild the faulted arm from scratch\n\
+         \x20                   instead of forking (byte-identical output; the\n\
+         \x20                   reference arm of the differential harness)\n\
+         \x20 --probe-rebuild   sweep: rebuild worlds and re-probe from scratch\n\
+         \x20                   instead of reusing memoized probes (byte-identical\n\
+         \x20                   output; reference arm)\n\
+         \x20 --json PATH       bench: result file (default BENCH_9.json)\n\
          \x20 --quick           bench: single repetition (CI smoke run)\n\
          \x20 --report [PATH]   collect spans/metrics, write a run report\n\
          \x20                   (default PATH: <out>/run_report.json)\n\
@@ -198,6 +215,8 @@ fn parse_args() -> Args {
         replicates: None,
         faults: None,
         fuzz: None,
+        reference_rebuild: false,
+        probe_rebuild: false,
         json_out: None,
         quick: false,
         shards: 0,
@@ -274,6 +293,8 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| bad_usage("--fuzz requires a numeric count")),
                 )
             }
+            "--reference-rebuild" => args.reference_rebuild = true,
+            "--probe-rebuild" => args.probe_rebuild = true,
             "--json" => {
                 args.json_out = Some(
                     it.next()
@@ -682,10 +703,13 @@ impl BenchRow {
 }
 
 /// The `bench` subcommand: a fixed suite of data-plane benchmarks whose
-/// JSON output keeps the same keys from run to run (`BENCH_6.json` in CI
-/// artifacts and at the repository root). `--quick` drops to a single
-/// repetition and a smaller sharded world so CI can smoke-run the suite
-/// without paying for stable numbers.
+/// JSON output keeps the same keys from run to run (`BENCH_9.json` in CI
+/// artifacts and at the repository root). Besides the microbench rows, a
+/// `fork_vs_rebuild` section quantifies what copy-on-write forking and
+/// incremental recompute buy over from-scratch rebuilds, with each pair
+/// asserted byte-identical in-process before its speedup is reported.
+/// `--quick` drops to a single repetition and a smaller sharded world so
+/// CI can smoke-run the suite without paying for stable numbers.
 fn run_bench_command(args: &Args) {
     use rp_netsim::event::{Event, EventKey, EventQueue};
     use rp_netsim::NodeId;
@@ -851,6 +875,155 @@ fn run_bench_command(args: &Args) {
         });
     }
 
+    // Fork vs rebuild: what the copy-on-write fork machinery buys. Both
+    // arms of each pair do the same logical work — the bench asserts
+    // their outputs byte-identical right here, so the speedup column can
+    // never quietly come from diverging computation.
+    use rp_testkit::differential::{arms_identical, incremental_arm, rebuild_arm};
+    eprintln!("bench: fork vs rebuild ...");
+    let visible_delta = ixps.iter().copied().find_map(|ixp| {
+        world
+            .scene
+            .ixp(ixp)
+            .members
+            .iter()
+            .position(|m| m.listing.listed && !m.profile.absent)
+            .map(|slot| remote_peering::fork::Delta::RowStale {
+                ixp,
+                slot: slot as u32,
+            })
+    });
+    let mut fork_section = Vec::new();
+    if let Some(delta) = visible_delta {
+        // One dirty IXP out of the whole scene: the rebuild arm builds
+        // the world again and probes every IXP, the fork arm forks and
+        // re-probes only the delta's target.
+        let deltas = [delta];
+        let parent_probes = campaign.probe_all(&world);
+        let t = Instant::now();
+        let mut reference = None;
+        for _ in 0..reps {
+            reference = Some(rebuild_arm(&cfg, &campaign, &deltas));
+        }
+        let rebuild_ns = t.elapsed().as_nanos() as f64 / reps as f64;
+        rows.push(BenchRow {
+            name: "fork_rebuild_arm",
+            ops: reps,
+            ns_per_op: rebuild_ns,
+            events_per_op: events as f64,
+        });
+        let t = Instant::now();
+        let mut forked = None;
+        for _ in 0..reps {
+            forked = Some(incremental_arm(&world, &parent_probes, &campaign, &deltas));
+        }
+        let incremental_ns = t.elapsed().as_nanos() as f64 / reps as f64;
+        rows.push(BenchRow {
+            name: "fork_incremental_arm",
+            ops: reps,
+            ns_per_op: incremental_ns,
+            events_per_op: events as f64,
+        });
+        assert!(
+            arms_identical(&reference.expect("reps >= 1"), &forked.expect("reps >= 1")),
+            "fork arm diverged from the rebuild arm — the speedup would be meaningless"
+        );
+        fork_section.push(("probe_1delta", rebuild_ns, incremental_ns));
+    }
+
+    // The check harness's faulted arm, reference-rebuilt vs forked. Small
+    // trial counts and test scale: the interesting delta is the world
+    // handling, not the invariant sweep riding on top of it.
+    let check_base = rp_testkit::CheckConfig {
+        seed: args.seed,
+        fault_trials: 20,
+        fuzz_iters: 20,
+        paper_scale: false,
+        shards: args.shards,
+        reference_rebuild: false,
+    };
+    let check_ref_cfg = rp_testkit::CheckConfig {
+        reference_rebuild: true,
+        ..check_base.clone()
+    };
+    // Untimed warm pass per arm: the fork path's world memo and the
+    // allocator reach steady state, which is what a long-lived process
+    // (and `repro serve`) actually runs at. The fork's win here is two
+    // world builds out of a run dominated by the invariant sweep, so the
+    // pair is timed as a min-of-3 to keep the small delta above the
+    // single-run jitter.
+    std::hint::black_box(rp_testkit::run_check(&check_ref_cfg));
+    std::hint::black_box(rp_testkit::run_check(&check_base));
+    let min_of_3 = |run: &dyn Fn() -> rp_testkit::CheckOutcome| {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            last = Some(run());
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        (best, last.expect("three runs"))
+    };
+    let (check_rebuild_ns, check_ref) = min_of_3(&|| rp_testkit::run_check(&check_ref_cfg));
+    rows.push(BenchRow {
+        name: "check_reference_rebuild",
+        ops: 3,
+        ns_per_op: check_rebuild_ns,
+        events_per_op: 0.0,
+    });
+    let (check_fork_ns, check_fork) = min_of_3(&|| rp_testkit::run_check(&check_base));
+    rows.push(BenchRow {
+        name: "check_fork",
+        ops: 3,
+        ns_per_op: check_fork_ns,
+        events_per_op: 0.0,
+    });
+    assert_eq!(
+        serde_json::to_string(&check_ref.to_json()).expect("render check report"),
+        serde_json::to_string(&check_fork.to_json()).expect("render check report"),
+        "check artifacts diverged between fork and rebuild"
+    );
+    fork_section.push(("check", check_rebuild_ns, check_fork_ns));
+
+    // A method-axis sweep with probe reuse off vs on: cells that differ
+    // only in method parameters share one memoized build + probe.
+    let sweep_spec = rp_scenario::ScenarioSpec::preset("smoke").expect("smoke preset exists");
+    let sweep_base = rp_scenario::SweepConfig {
+        replicates: 2,
+        shards: args.shards,
+        ..rp_scenario::SweepConfig::test_default(args.seed)
+    };
+    let sweep_rebuild_cfg = rp_scenario::SweepConfig {
+        reuse: false,
+        ..sweep_base.clone()
+    };
+    std::hint::black_box(rp_scenario::run_sweep(&sweep_spec, &sweep_rebuild_cfg));
+    std::hint::black_box(rp_scenario::run_sweep(&sweep_spec, &sweep_base));
+    let t = Instant::now();
+    let sweep_rebuilt = rp_scenario::run_sweep(&sweep_spec, &sweep_rebuild_cfg);
+    let sweep_rebuild_ns = t.elapsed().as_nanos() as f64;
+    rows.push(BenchRow {
+        name: "sweep_probe_rebuild",
+        ops: 1,
+        ns_per_op: sweep_rebuild_ns,
+        events_per_op: 0.0,
+    });
+    let t = Instant::now();
+    let sweep_reused = rp_scenario::run_sweep(&sweep_spec, &sweep_base);
+    let sweep_reuse_ns = t.elapsed().as_nanos() as f64;
+    rows.push(BenchRow {
+        name: "sweep_probe_reuse",
+        ops: 1,
+        ns_per_op: sweep_reuse_ns,
+        events_per_op: 0.0,
+    });
+    assert_eq!(
+        serde_json::to_string(&sweep_rebuilt).expect("render sweep"),
+        serde_json::to_string(&sweep_reused).expect("render sweep"),
+        "sweep artifacts diverged between rebuild and reuse"
+    );
+    fork_section.push(("sweep_smoke", sweep_rebuild_ns, sweep_reuse_ns));
+
     println!("==== bench {}", "=".repeat(55));
     println!(
         "{:<22} {:>10} {:>14} {:>16}",
@@ -891,12 +1064,30 @@ fn run_bench_command(args: &Args) {
             "interfaces": big.scene.total_interfaces(),
             "events_per_campaign": big_events,
         },
+        // Each pair was asserted byte-identical above, so `speedup` is a
+        // pure performance delta, never a semantic one.
+        "fork_vs_rebuild": serde_json::Value::Object(
+            fork_section
+                .iter()
+                .map(|(name, rebuild_ns, fork_ns)| {
+                    (
+                        name.to_string(),
+                        serde_json::json!({
+                            "rebuild_ns": rebuild_ns,
+                            "fork_ns": fork_ns,
+                            "speedup": rebuild_ns / fork_ns,
+                            "byte_identical": true,
+                        }),
+                    )
+                })
+                .collect(),
+        ),
         "benches": bench_values,
     });
     let path = args
         .json_out
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"));
     write_output(
         &path,
         &serde_json::to_string_pretty(&out).expect("serialize bench output"),
@@ -966,6 +1157,7 @@ fn run_sweep_command(args: &Args, spec_arg: &str) {
         paper_scale: args.paper_scale(),
         replicates: args.replicates,
         shards: args.shards,
+        probe_reuse: !args.probe_rebuild,
     });
     eprintln!("  done [{:.1?}]", t0.elapsed());
 
@@ -985,6 +1177,7 @@ fn run_check_command(args: &Args, report_path: Option<&Path>) -> bool {
         fuzz_iters: args.fuzz.unwrap_or(500),
         paper_scale: args.paper_scale(),
         shards: args.shards,
+        reference_rebuild: args.reference_rebuild,
     };
     let t0 = Instant::now();
     eprintln!(

@@ -498,6 +498,67 @@ impl Campaign {
         crate::memo::probes_cached(key, || self.probe_all(world))
     }
 
+    /// Incremental re-probe of a forked world: IXPs in the fork's dirty
+    /// set are probed for real (in parallel), every other studied IXP
+    /// reuses the parent's samples from `parent_probes`. Byte-identical
+    /// to `probe_all(fork.world())` because a per-IXP probe reads only
+    /// that IXP's instance plus fork-invariant inputs (world seed,
+    /// scene-level constants, provider table, campaign parameters) — the
+    /// soundness argument is spelled out in [`crate::fork`], and the
+    /// `rp-testkit` differential harness enforces it against a
+    /// from-scratch rebuild.
+    ///
+    /// `parent_probes` must be the full-campaign probe set of the fork's
+    /// parent under this same campaign (any studied IXP missing from it
+    /// is probed fresh, so a stale or partial parent degrades to extra
+    /// work, never to wrong bytes).
+    pub fn probe_all_incremental(
+        &self,
+        fork: &crate::fork::WorldFork,
+        parent_probes: &[(IxpId, Vec<InterfaceSamples>)],
+    ) -> Vec<(IxpId, Vec<InterfaceSamples>)> {
+        let sp = rp_obs::span("core.campaign.probe_all_incremental");
+        let parent = sp.path();
+        let world = fork.world();
+        let ixps = world.studied_ixps();
+        let out: Vec<(IxpId, Vec<InterfaceSamples>)> = ixps
+            .par_iter()
+            .map(|&ixp| {
+                if !fork.dirty_ixps().contains(&ixp) {
+                    if let Some((_, samples)) = parent_probes.iter().find(|(i, _)| *i == ixp) {
+                        rp_obs::counter!("core.fork.probe_reused").add(1);
+                        return (ixp, samples.clone());
+                    }
+                }
+                let _sp = rp_obs::span_under(&parent, "core.campaign.probe_ixp");
+                rp_obs::counter!("core.fork.probe_recomputed").add(1);
+                (ixp, self.probe_ixp(world, ixp))
+            })
+            .collect();
+        out
+    }
+
+    /// Memoized incremental probe of a fork, for callers that re-enter
+    /// the same fork sequence across jobs (`repro serve`): the fork's own
+    /// probe set is looked up under its deterministic fork key; on a miss,
+    /// the *parent's* cached probes seed [`Campaign::probe_all_incremental`]
+    /// when present, and the result is filed under the fork key. Without
+    /// cached parent probes this degrades to a full (memoized) probe.
+    pub fn probe_fork_cached(
+        &self,
+        fork: &crate::fork::WorldFork,
+    ) -> std::sync::Arc<Vec<(IxpId, Vec<InterfaceSamples>)>> {
+        let campaign_fp = crate::memo::fingerprint(self);
+        if let Some(parent) = crate::memo::probes_lookup((fork.parent_fingerprint(), campaign_fp)) {
+            return crate::memo::probes_cached((fork.fingerprint(), campaign_fp), || {
+                self.probe_all_incremental(fork, &parent)
+            });
+        }
+        crate::memo::probes_cached((fork.fingerprint(), campaign_fp), || {
+            self.probe_all(fork.world())
+        })
+    }
+
     /// Reference serial implementation of [`Campaign::probe_all`], kept for the
     /// determinism tests and the serial-vs-parallel benchmark.
     pub fn probe_all_serial(&self, world: &World) -> Vec<(IxpId, Vec<InterfaceSamples>)> {

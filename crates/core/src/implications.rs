@@ -181,24 +181,41 @@ mod tests {
         World::build(&WorldConfig::test_scale(66))
     }
 
-    #[test]
-    fn shared_fate_erases_the_third_nine() {
+    /// Analytic + Monte-Carlo agreement at a tolerance the trial count can
+    /// actually support. Shared by the fast seeded variant below and the
+    /// full 2M-trial version behind `#[ignore]`.
+    fn check_shared_fate(trials: u32, mc_tolerance: f64) {
         let w = world();
-        // 2M trials put the 5e-5 tolerance at ~7 binomial standard
-        // deviations of the 1e-4 shared-fate rate, so the check is robust
-        // to the RNG stream rather than tuned to one generator.
-        let r = multihoming_reliability(&w, 0.01, 2_000_000);
+        let r = multihoming_reliability(&w, 0.01, trials);
         // Independent: 1e-6; shared: 1e-4 — two orders of magnitude.
         assert!((r.independent_analytic - 1e-6).abs() < 1e-12);
         assert!((r.shared_analytic - 1e-4).abs() < 1e-12);
         assert!((r.fate_sharing_penalty() - 100.0).abs() < 1e-6);
         // Monte Carlo agrees with the closed forms.
         assert!(
-            (r.shared_mc - r.shared_analytic).abs() < 5e-5,
+            (r.shared_mc - r.shared_analytic).abs() < mc_tolerance,
             "{}",
             r.shared_mc
         );
         assert!(r.independent_mc <= 3.0 * r.independent_analytic + 1e-5);
+    }
+
+    #[test]
+    fn shared_fate_erases_the_third_nine_fast() {
+        // 200k trials put the 1.6e-4 tolerance at ~7 binomial standard
+        // deviations of the 1e-4 shared-fate rate (sd ≈ 2.24e-5), so the
+        // check is robust to the RNG stream rather than tuned to one
+        // generator, while staying fast enough for every `cargo test` run.
+        check_shared_fate(200_000, 1.6e-4);
+    }
+
+    #[test]
+    #[ignore = "2M Monte-Carlo trials; run via cargo test -- --ignored"]
+    fn shared_fate_erases_the_third_nine() {
+        // The full-resolution version: 2M trials put the 5e-5 tolerance at
+        // ~7 binomial standard deviations of the 1e-4 shared-fate rate.
+        // CI runs it in the ignored-tests step of one matrix job.
+        check_shared_fate(2_000_000, 5e-5);
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //! - [`validate`] — ground-truth validation (precision/recall against the
 //!   scene, which the detector itself never sees) and the TorIX-style
 //!   route-server RTT cross-check of section 3.3.
+//! - [`fork`] — copy-on-write world forking: cheap children sharing the
+//!   parent's planes, a [`fork::Delta`] log of scene mutations, and the
+//!   dirty set that lets [`Campaign::probe_all_incremental`] re-probe
+//!   only what a delta touched.
 //! - [`metrics`] — scalar per-run metrics (precision/recall/F1, remote
 //!   fraction, offload fractions, viability margin) extracted from one
 //!   probed world under configurable methodology parameters — the unit of
@@ -77,6 +81,7 @@ pub mod classify;
 pub mod detect;
 pub mod filters;
 pub mod flattening;
+pub mod fork;
 pub mod identify;
 pub mod implications;
 pub mod memo;
@@ -90,6 +95,7 @@ pub mod world;
 pub use campaign::Campaign;
 pub use classify::{RttRange, REMOTENESS_THRESHOLD_MS};
 pub use detect::{DetectionReport, DetectionStudy};
+pub use fork::{Delta, WorldFork};
 pub use offload::{OffloadStudy, PeerGroup};
 pub use world::{World, WorldConfig};
 

@@ -131,6 +131,23 @@ pub fn world_pool_stats() -> (usize, u64) {
     (entries.len(), bytes)
 }
 
+/// Look up a resident world by content address without building on a
+/// miss. The pool's entries double as *snapshot parents* for
+/// [`World::fork`]: a long-running server job that wants to perturb a
+/// hot world forks the pooled snapshot (refcount bumps) instead of
+/// rebuilding, and the fork's incremental probe finds the parent's probe
+/// set under the same address. A hit counts as a use (moves the entry to
+/// most-recently-used).
+pub fn world_snapshot(fp: u64) -> Option<Arc<World>> {
+    let pool = world_pool();
+    let mut entries = pool.entries.lock().expect("memo cache lock");
+    let pos = entries.iter().position(|(k, _, _)| *k == fp)?;
+    let entry = entries.remove(pos).expect("position came from this deque");
+    let world = entry.1.clone();
+    entries.push_back(entry);
+    Some(world)
+}
+
 /// Drop least-recently-used entries until both bounds hold. The byte
 /// budget never evicts the last entry: a single world larger than the
 /// budget still caches (evicting it would just thrash rebuilds).
@@ -213,6 +230,15 @@ pub(crate) fn world_cached(fp: u64, build: impl FnOnce() -> World) -> Arc<World>
     drop(entries);
     rp_obs::counter!("core.memo.world_miss").add(1);
     world
+}
+
+/// Look up the probe set keyed `(world key, campaign key)` without
+/// computing on a miss. This is how a fork finds its parent's probe set
+/// to seed [`Campaign::probe_all_incremental`](crate::Campaign::probe_all_incremental):
+/// the world pool keeps snapshot parents resident across jobs, and their
+/// probe sets sit here under the parent's content address.
+pub(crate) fn probes_lookup(key: (u64, u64)) -> Option<Arc<ProbeSet>> {
+    lru_find(&mut probe_cache().lock().expect("memo cache lock"), key)
 }
 
 /// Fetch or compute the probe set keyed `(world key, campaign key)`.

@@ -30,6 +30,7 @@ use rp_traffic::{contributions, Contributions, TrafficConfig};
 use rp_types::geo::WORLD_CITIES;
 use rp_types::{IxpId, NetworkId, SimDuration};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Full scenario configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,30 +86,44 @@ impl WorldConfig {
 }
 
 /// The assembled scenario.
+///
+/// The four heavyweight planes — topology, registry, routing view, and
+/// traffic contributions — are behind [`Arc`], and the scene's per-IXP
+/// instances are reference-counted individually. A `World::clone` (and
+/// therefore a [`World::fork`]) is a handful of refcount bumps plus the
+/// small config/id vectors; the planes are immutable snapshots shared
+/// between parent and child until a [`crate::fork::Delta`] copies the one
+/// IXP instance it touches.
 #[derive(Clone)]
 pub struct World {
     /// Content address for the memo caches: the fingerprint of `config`
-    /// while the world is pristine, a unique nonce once it has been
-    /// mutated in place (see [`World::mark_mutated`]).
+    /// while the world is pristine, a deterministic fork key once deltas
+    /// have been applied through [`World::fork`], and a unique nonce once
+    /// it has been mutated in place (see [`World::mark_mutated`]).
     pub(crate) memo_key: u64,
     /// The configuration the world was built from.
     pub config: WorldConfig,
-    /// The AS-level Internet.
-    pub topology: Topology,
-    /// IXPs, memberships, attachments, pathologies (ground truth).
+    /// The AS-level Internet (immutable snapshot plane).
+    pub topology: Arc<Topology>,
+    /// IXPs, memberships, attachments, pathologies (ground truth). The
+    /// instances inside are individually reference-counted (the arena the
+    /// copy-on-write forks share).
     pub scene: IxpScene,
-    /// What the measurement campaign is allowed to know.
-    pub registry: Registry,
+    /// What the measurement campaign is allowed to know (immutable
+    /// snapshot plane — deltas never touch registry rows, see
+    /// [`crate::fork`]).
+    pub registry: Arc<Registry>,
     /// The RedIRIS-like study network.
     pub vantage: NetworkId,
     /// The study network's home IXPs (ESpanix, CATNIX).
     pub home_ixps: Vec<IxpId>,
     /// CDNs the study network peers with directly.
     pub cdn_peers: Vec<NetworkId>,
-    /// The study network's forwarding view.
-    pub view: RoutingView,
-    /// Average per-network transit-traffic contributions.
-    pub contributions: Contributions,
+    /// The study network's forwarding view (immutable snapshot plane).
+    pub view: Arc<RoutingView>,
+    /// Average per-network transit-traffic contributions (immutable
+    /// snapshot plane).
+    pub contributions: Arc<Contributions>,
 }
 
 impl World {
@@ -203,14 +218,14 @@ impl World {
         World {
             memo_key: crate::memo::fingerprint(cfg),
             config: cfg.clone(),
-            topology,
+            topology: Arc::new(topology),
             scene,
-            registry,
+            registry: Arc::new(registry),
             vantage,
             home_ixps,
             cdn_peers,
-            view,
-            contributions,
+            view: Arc::new(view),
+            contributions: Arc::new(contributions),
         }
     }
 
@@ -238,8 +253,24 @@ impl World {
     /// in-place mutation site (fault injection, invariant probes that
     /// push/pop members) must call this so downstream probe memoization
     /// can never alias the mutated state with the pristine build.
+    ///
+    /// Prefer [`World::fork`] where the mutation is expressible as
+    /// [`crate::fork::Delta`]s: forks get a *deterministic* content
+    /// address (so probe memo entries are shareable across identical fork
+    /// sequences) and track which IXPs they dirtied (so
+    /// [`crate::Campaign::probe_all_incremental`] can reuse parent probe
+    /// results for the rest).
     pub fn mark_mutated(&mut self) {
         self.memo_key = crate::memo::mutation_nonce();
+    }
+
+    /// Fork this world into a cheap copy-on-write child. The child shares
+    /// the topology, registry, routing-view, and contributions planes and
+    /// every IXP instance with `self`; applying a [`crate::fork::Delta`]
+    /// copies only the instance it touches. `self` is never affected by
+    /// anything done to the fork.
+    pub fn fork(&self) -> crate::fork::WorldFork {
+        crate::fork::WorldFork::new(self)
     }
 
     /// Length of the probing campaign.
@@ -277,7 +308,7 @@ fn city_index(name: &str) -> u16 {
 /// Insert `network` as a direct, healthy, unlisted member of `ixp` (used to
 /// wire the study network and the tier-1s into their real memberships).
 fn add_direct_member(scene: &mut IxpScene, ixp: IxpId, network: NetworkId) {
-    let inst = &mut scene.ixps[ixp.index()];
+    let inst = scene.ixp_mut(ixp);
     if inst.members.iter().any(|m| m.network == network) {
         return;
     }

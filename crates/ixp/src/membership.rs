@@ -574,12 +574,12 @@ pub fn build_scene(topo: &Topology, metas: &[IxpMeta], cfg: &SceneConfig) -> Ixp
             }
         }
 
-        ixps.push(IxpInstance {
+        ixps.push(std::sync::Arc::new(IxpInstance {
             id,
             meta: meta.clone(),
             sites,
             members,
-        });
+        }));
     }
 
     IxpScene { ixps, providers }

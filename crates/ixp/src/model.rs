@@ -5,6 +5,7 @@ use rp_types::geo::{city, City};
 use rp_types::{IxpId, NetworkId};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Operator of a looking-glass server at an IXP. The two operators differ in
 /// how many ping requests one HTML query triggers (section 3.1: RIPE NCC
@@ -220,8 +221,11 @@ impl IxpInstance {
 /// index into.
 #[derive(Debug, Clone, Serialize)]
 pub struct IxpScene {
-    /// All IXPs, indexed by [`IxpId`].
-    pub ixps: Vec<IxpInstance>,
+    /// All IXPs, indexed by [`IxpId`]. Instances are reference-counted so
+    /// forked scenes share every IXP they have not touched: cloning the
+    /// scene bumps 65 refcounts instead of copying tens of thousands of
+    /// member rows, and [`IxpScene::ixp_mut`] is the copy-on-write seam.
+    pub ixps: Vec<Arc<IxpInstance>>,
     /// The remote-peering provider table `Access::Remote` indexes into.
     pub providers: Vec<crate::provider::RemotePeeringProvider>,
 }
@@ -232,10 +236,28 @@ impl IxpScene {
         &self.ixps[id.index()]
     }
 
+    /// Mutable access to one IXP instance — the copy-on-write seam. If the
+    /// instance is shared with another scene (a fork parent or sibling),
+    /// the first mutation clones that one instance; subsequent mutations
+    /// are in place. Unmutated instances stay shared.
+    pub fn ixp_mut(&mut self, id: IxpId) -> &mut IxpInstance {
+        Arc::make_mut(&mut self.ixps[id.index()])
+    }
+
+    /// True when this scene and `other` share the same allocation for
+    /// `id`'s instance (i.e. neither side has written to it since the
+    /// fork). Lets tests prove copy-on-write actually shares.
+    pub fn shares_ixp_with(&self, other: &IxpScene, id: IxpId) -> bool {
+        Arc::ptr_eq(&self.ixps[id.index()], &other.ixps[id.index()])
+    }
+
     /// Iterate over the IXPs the section 3 study probes (those with at least
     /// one looking-glass server).
     pub fn studied(&self) -> impl Iterator<Item = &IxpInstance> {
-        self.ixps.iter().filter(|x| !x.meta.lg.is_empty())
+        self.ixps
+            .iter()
+            .filter(|x| !x.meta.lg.is_empty())
+            .map(|x| &**x)
     }
 
     /// All IXPs a given network belongs to.

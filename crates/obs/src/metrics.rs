@@ -264,6 +264,30 @@ pub const CATALOG: &[CatalogEntry] = &[
         doc: "Interfaces entering the filter funnel (funnel top)",
     },
     CatalogEntry {
+        name: "core.fork.deltas_applied",
+        kind: "counter",
+        scale: "deltas",
+        doc: "Deltas applied to copy-on-write world forks",
+    },
+    CatalogEntry {
+        name: "core.fork.forks",
+        kind: "counter",
+        scale: "forks",
+        doc: "Copy-on-write world forks created",
+    },
+    CatalogEntry {
+        name: "core.fork.probe_recomputed",
+        kind: "counter",
+        scale: "IXPs",
+        doc: "Incremental probes that re-ran an IXP's campaign (dirty or unseeded)",
+    },
+    CatalogEntry {
+        name: "core.fork.probe_reused",
+        kind: "counter",
+        scale: "IXPs",
+        doc: "Incremental probes that reused the fork parent's samples for an IXP",
+    },
+    CatalogEntry {
         name: "core.memo.probe_hit",
         kind: "counter",
         scale: "lookups",
@@ -442,6 +466,12 @@ pub const CATALOG: &[CatalogEntry] = &[
         kind: "counter",
         scale: "jobs",
         doc: "Jobs whose run panicked or whose result could not be flushed",
+    },
+    CatalogEntry {
+        name: "server.jobs.id_collision",
+        kind: "counter",
+        scale: "jobs",
+        doc: "Submissions whose FNV-64 job id matched an existing job with a different spec (re-id'd with a salted suffix)",
     },
     CatalogEntry {
         name: "server.jobs.rejected",

@@ -28,6 +28,10 @@ pub enum JobSpec {
         paper_scale: bool,
         replicates: Option<u64>,
         shards: usize,
+        /// Reuse memoized worlds and probe sets across cells (the default).
+        /// `false` is the reference arm: every cell rebuilds and re-probes
+        /// from scratch. Artifacts are byte-identical either way.
+        probe_reuse: bool,
     },
     /// The correctness harness (`repro check`).
     Check(CheckConfig),
@@ -82,7 +86,14 @@ impl JobSpec {
                 for (key, _) in obj {
                     if !matches!(
                         key.as_str(),
-                        "kind" | "seed" | "scale" | "shards" | "replicates" | "spec" | "preset"
+                        "kind"
+                            | "seed"
+                            | "scale"
+                            | "shards"
+                            | "replicates"
+                            | "spec"
+                            | "preset"
+                            | "probe_reuse"
                     ) {
                         return Err(format!("unknown sweep key {key:?}"));
                     }
@@ -102,12 +113,20 @@ impl JobSpec {
                     None => None,
                     Some(_) => Some(u64_field(v, "replicates", 0)?),
                 };
+                let probe_reuse = match v.get("probe_reuse") {
+                    None => true,
+                    Some(Value::Bool(b)) => *b,
+                    Some(other) => {
+                        return Err(format!("\"probe_reuse\" must be a boolean, got {other}"))
+                    }
+                };
                 Ok(JobSpec::Sweep {
                     spec,
                     seed,
                     paper_scale,
                     replicates,
                     shards,
+                    probe_reuse,
                 })
             }
             "check" => Ok(JobSpec::Check(CheckConfig::from_value(v)?)),
@@ -222,6 +241,7 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
             paper_scale,
             replicates,
             shards,
+            probe_reuse,
         } => {
             let cfg = rp_scenario::SweepConfig {
                 seed: *seed,
@@ -230,6 +250,7 @@ pub fn run_job(spec: &JobSpec) -> JobResult {
                 confidence: 0.95,
                 resamples: 400,
                 shards: *shards,
+                reuse: *probe_reuse,
             };
             let out = {
                 let _run = rp_obs::span("repro.run");

@@ -138,22 +138,56 @@ impl JobQueue {
     }
 
     /// Submit a spec. Idempotent on the spec fingerprint: a queued,
-    /// running, or done job with the same id answers the submission
-    /// without scheduling new work; failed and cancelled jobs are
-    /// re-enqueued (retry semantics).
+    /// running, or done job with the same id *and the same spec* answers
+    /// the submission without scheduling new work; failed and cancelled
+    /// jobs are re-enqueued (retry semantics).
+    ///
+    /// Job ids are 64-bit FNV fingerprints, so two genuinely different
+    /// specs can collide. Deduping on the id alone would then answer the
+    /// second submission with the first job's record — and its artifact,
+    /// which is the wrong result entirely. `submit` therefore verifies the
+    /// stored spec matches before deduping; on a mismatch it counts
+    /// `server.jobs.id_collision` and re-ids the newcomer with a salted
+    /// suffix (`<id>-1`, `-2`, ...) so both jobs run and each id serves
+    /// exactly the spec it was accepted for.
     pub fn submit(&self, spec: JobSpec) -> Submit {
         let id = spec.id();
+        self.submit_with_id(spec, id)
+    }
+
+    /// [`JobQueue::submit`] with the content-addressed id supplied by the
+    /// caller. Hidden: this exists so tests can force two distinct specs
+    /// onto one id and exercise the collision path, which real FNV-64
+    /// collisions are too rare to reach.
+    #[doc(hidden)]
+    pub fn submit_with_id(&self, spec: JobSpec, base_id: String) -> Submit {
+        // The fingerprint hashes the Debug encoding, so Debug text is
+        // exactly the pre-hash identity: equal text means equal spec.
+        let canonical = format!("{spec:?}");
         let mut inner = self.inner.lock().unwrap();
         if !inner.accepting {
             return Submit::Draining;
         }
-        if let Some(rec) = inner.jobs.get(&id) {
-            match rec.state {
-                JobState::Queued | JobState::Running | JobState::Done => {
-                    rp_obs::counter!("server.jobs.deduped").inc();
-                    return Submit::Existing(id, rec.state);
+        let mut id = base_id.clone();
+        let mut salt = 0u64;
+        loop {
+            match inner.jobs.get(&id) {
+                Some(rec) if format!("{:?}", rec.spec) == canonical => match rec.state {
+                    JobState::Queued | JobState::Running | JobState::Done => {
+                        rp_obs::counter!("server.jobs.deduped").inc();
+                        return Submit::Existing(id, rec.state);
+                    }
+                    // Retry semantics: reuse this id for the re-enqueue.
+                    JobState::Failed | JobState::Cancelled => break,
+                },
+                Some(_) => {
+                    // Same id, different spec: an id collision. Try the
+                    // next salted variant.
+                    rp_obs::counter!("server.jobs.id_collision").inc();
+                    salt += 1;
+                    id = format!("{base_id}-{salt}");
                 }
-                JobState::Failed | JobState::Cancelled => {}
+                None => break,
             }
         }
         if inner.pending.len() >= self.capacity {
@@ -410,6 +444,47 @@ mod tests {
         assert!(matches!(q.submit(campaign_spec(12.0)), Submit::Full));
         q.drain();
         assert!(matches!(q.submit(campaign_spec(13.0)), Submit::Draining));
+    }
+
+    #[test]
+    fn id_collisions_do_not_serve_the_wrong_artifact() {
+        let q = JobQueue::new(8);
+        let a = campaign_spec(10.0);
+        let b = campaign_spec(20.0);
+        // Distinct specs — in reality their FNV-64 ids differ too, so force
+        // them onto one id to stand in for a genuine 64-bit collision.
+        let forced = a.id();
+        assert_ne!(forced, b.id(), "test premise: the specs really differ");
+        let Submit::Accepted(id_a) = q.submit_with_id(a.clone(), forced.clone()) else {
+            panic!("first submission must be accepted");
+        };
+        assert_eq!(id_a, forced);
+        // The colliding spec must NOT dedupe onto a's record: that would
+        // hand b's submitter a's artifact. It gets a salted id instead.
+        let Submit::Accepted(id_b) = q.submit_with_id(b.clone(), forced.clone()) else {
+            panic!("colliding spec must be accepted as new work, not deduped");
+        };
+        assert_ne!(id_b, id_a, "collision must re-id, not alias");
+        assert_eq!(id_b, format!("{forced}-1"));
+        // Each id's record holds exactly the spec it was accepted for.
+        assert_eq!(
+            format!("{:?}", q.status(&id_a).unwrap().spec),
+            format!("{a:?}")
+        );
+        assert_eq!(
+            format!("{:?}", q.status(&id_b).unwrap().spec),
+            format!("{b:?}")
+        );
+        // Resubmitting either spec under the forced id dedupes onto its own
+        // record — the salt walk finds the true match.
+        match q.submit_with_id(a, forced.clone()) {
+            Submit::Existing(id, JobState::Queued) => assert_eq!(id, id_a),
+            other => panic!("expected dedupe onto a's record, got {other:?}"),
+        }
+        match q.submit_with_id(b, forced) {
+            Submit::Existing(id, JobState::Queued) => assert_eq!(id, id_b),
+            other => panic!("expected dedupe onto b's record, got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct CheckConfig {
     /// change a single byte of the outcome, so recording it would turn a
     /// performance policy into spurious report churn.
     pub shards: usize,
+    /// Run the faulted arm as a from-scratch reference: rebuild the world
+    /// (bypassing the memo pool) and degrade it in place, instead of the
+    /// default copy-on-write fork of the clean build. Like `shards`, this
+    /// is deliberately absent from the report JSON — the fork path's
+    /// whole contract is that it cannot change a byte of the outcome,
+    /// which is exactly what the differential harness asserts by running
+    /// `repro check` both ways and comparing artifacts.
+    pub reference_rebuild: bool,
 }
 
 impl Default for CheckConfig {
@@ -58,6 +66,7 @@ impl Default for CheckConfig {
             fuzz_iters: 500,
             paper_scale: false,
             shards: 0,
+            reference_rebuild: false,
         }
     }
 }
@@ -67,9 +76,9 @@ impl CheckConfig {
     /// of the `repro check` flags, so services can accept check
     /// submissions without shelling out. Recognized keys (all optional,
     /// defaulting to the CLI's defaults): `seed`, `faults`, `fuzz`,
-    /// `scale` (`"test"` or `"paper"`), `shards`. Unknown keys are
-    /// rejected so a typo'd knob fails loudly instead of silently running
-    /// the default.
+    /// `scale` (`"test"` or `"paper"`), `shards`, `reference_rebuild`.
+    /// Unknown keys are rejected so a typo'd knob fails loudly instead of
+    /// silently running the default.
     pub fn from_value(v: &Value) -> Result<CheckConfig, String> {
         let obj = v
             .as_object()
@@ -106,6 +115,11 @@ impl CheckConfig {
                     cfg.shards = val.as_u64().ok_or_else(|| {
                         format!("\"shards\" must be a non-negative integer, got {val}")
                     })? as usize
+                }
+                "reference_rebuild" => {
+                    cfg.reference_rebuild = val.as_bool().ok_or_else(|| {
+                        format!("\"reference_rebuild\" must be a boolean, got {val}")
+                    })?
                 }
                 other => return Err(format!("unknown check config key {other:?}")),
             }
@@ -233,11 +247,16 @@ fn class_index(rtt: f64) -> usize {
 }
 
 /// Offload monotonicity under member addition, on the real world: add an
-/// open-policy non-member to a non-home studied IXP, compare per-group
-/// potentials, then undo the addition. Group 2 (open + top-10 selective)
-/// is excluded on purpose: its membership is itself data-dependent, so
-/// monotonicity is not a theorem there.
-fn offload_invariant(h: &mut Harness, world: &mut World) {
+/// open-policy non-member to a non-home studied IXP and compare per-group
+/// potentials. Group 2 (open + top-10 selective) is excluded on purpose:
+/// its membership is itself data-dependent, so monotonicity is not a
+/// theorem there.
+///
+/// The addition happens on a copy-on-write fork (a `MemberAdd` delta), or
+/// — in reference-rebuild mode — as the legacy in-place push on a marked
+/// clone; both leave `world` itself untouched, and the differential
+/// harness holds the two paths to identical report bytes.
+fn offload_invariant(h: &mut Harness, world: &World, reference_rebuild: bool) {
     let home = world.home_ixps.clone();
     let Some(target) = world.studied_ixps().into_iter().find(|i| !home.contains(i)) else {
         return;
@@ -274,13 +293,8 @@ fn offload_invariant(h: &mut Harness, world: &mut World) {
             .collect()
     };
     let before = potentials(world);
-    // The push/pop below is restored before returning, but the world
-    // transiently diverges from its config — retire its memo key so no
-    // probe memoization can alias the intermediate state.
-    world.mark_mutated();
-    let idx = target.index();
-    let slot = world.scene.ixps[idx].members.len() as u32;
-    world.scene.ixps[idx].members.push(MemberInterface {
+    let slot = world.scene.ixp(target).members.len() as u32;
+    let member = MemberInterface {
         network: net,
         ip: IxpInstance::ip_for_slot(target, slot),
         access: rp_ixp::Access::Direct {
@@ -293,9 +307,29 @@ fn offload_invariant(h: &mut Harness, world: &mut World) {
             identifiable: false,
             asn_change: false,
         },
-    });
-    let after = potentials(world);
-    world.scene.ixps[idx].members.pop();
+    };
+    let after = if reference_rebuild {
+        // Legacy path, kept as the differential reference: push the
+        // member onto a marked clone (the mark retires the clone's memo
+        // key so no probe memoization can alias the perturbed state).
+        let mut perturbed = world.clone();
+        perturbed.mark_mutated();
+        remote_peering::fork::apply_delta_in_place(
+            &mut perturbed,
+            &remote_peering::fork::Delta::MemberAdd {
+                ixp: target,
+                member,
+            },
+        );
+        potentials(&perturbed)
+    } else {
+        let mut fork = world.fork();
+        fork.apply(remote_peering::fork::Delta::MemberAdd {
+            ixp: target,
+            member,
+        });
+        potentials(fork.world())
+    };
 
     let mut pairs: Vec<(&'static str, f64, f64)> = Vec::new();
     for (i, &(label, _)) in GROUPS.iter().enumerate() {
@@ -315,27 +349,47 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
     };
     let fcfg = FilterConfig::default();
 
-    // Clean arm.
-    let clean_world = {
-        let _sp = rp_obs::span("testkit.check.clean");
-        World::build_cached(&world_cfg)
-    };
+    // Clean arm. The default path pulls the build *and* its probe set
+    // from the process-wide memo, so repeated checks in one process (a
+    // `repro serve` worker, the bench's fork-vs-rebuild pair) pay for the
+    // clean arm once; reference mode rebuilds and re-probes from scratch,
+    // bypassing every cache, so the differential comparison covers the
+    // memo layer too.
     let clean_campaign = Campaign {
         shards: cfg.shards,
         ..Campaign::default_paper()
     };
-    let clean = attach_entries(&clean_world, clean_campaign.probe_all(&clean_world), &fcfg);
+    let (clean_world, clean_probed) = {
+        let _sp = rp_obs::span("testkit.check.clean");
+        if cfg.reference_rebuild {
+            let world = std::sync::Arc::new(World::build(&world_cfg));
+            let probed = clean_campaign.probe_all(&world);
+            (world, probed)
+        } else {
+            let prepared = PreparedRun::probe_cached(&world_cfg, &clean_campaign);
+            (prepared.world, (*prepared.probed).clone())
+        }
+    };
+    let clean = attach_entries(&clean_world, clean_probed, &fcfg);
 
     // Faulted arm: same config, degraded scene, fault-injecting campaign.
     let plan = FaultPlan::standard(
         seed::derive(cfg.seed, "testkit-plan", 0),
         clean_world.campaign_duration(),
     );
-    // Clone the memoized clean build instead of rebuilding from scratch;
-    // degrade_scene marks the copy mutated so it can never alias the
-    // pristine world in the probe memo.
-    let mut faulted_world = (*clean_world).clone();
-    let scene = plan.degrade_scene(&mut faulted_world);
+    // Fork the clean build and apply the degradations as deltas — the
+    // parent stays pristine and the fork gets a deterministic content
+    // address. Reference mode replays the legacy path instead: a fresh
+    // build degraded in place under a mutation nonce. Identical bytes
+    // either way (the fork-equivalence harness holds the report to it).
+    let (faulted_world, scene) = if cfg.reference_rebuild {
+        let mut rebuilt = World::build(&world_cfg);
+        let scene = plan.degrade_scene(&mut rebuilt);
+        (rebuilt, scene)
+    } else {
+        let (fork, scene) = plan.degrade_fork(&clean_world);
+        (fork.into_world(), scene)
+    };
     let campaign = Campaign {
         shards: cfg.shards,
         ..plan.campaign()
@@ -409,7 +463,49 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
         }
 
         // Offload monotonicity on the (degraded) world.
-        offload_invariant(&mut h, &mut faulted_world);
+        offload_invariant(&mut h, &faulted_world, cfg.reference_rebuild);
+
+        // Fork commutativity on the clean world: two deltas applied
+        // sequentially on one fork must equal two single-delta forks
+        // merged — the metamorphic form of "a fork is its delta log".
+        {
+            let ixps = clean_world.studied_ixps();
+            if ixps.len() >= 2 {
+                let da = remote_peering::fork::Delta::RowStale {
+                    ixp: ixps[0],
+                    slot: 0,
+                };
+                let db = remote_peering::fork::Delta::PortUpgrade {
+                    ixp: ixps[1],
+                    slot: 0,
+                    delay_ms: 0.05,
+                };
+                let digest = |f: &remote_peering::fork::WorldFork| {
+                    format!(
+                        "{:016x}:{:016x}",
+                        f.fingerprint(),
+                        remote_peering::memo::fingerprint(&f.world().scene)
+                    )
+                };
+                invariants::fork_commutative(
+                    &mut h,
+                    &|| {
+                        let mut f = clean_world.fork();
+                        f.apply(da.clone());
+                        f.apply(db.clone());
+                        digest(&f)
+                    },
+                    &|| {
+                        let mut fa = clean_world.fork();
+                        fa.apply(da.clone());
+                        let mut fb = clean_world.fork();
+                        fb.apply(db.clone());
+                        fa.absorb(&fb);
+                        digest(&fa)
+                    },
+                );
+            }
+        }
 
         // Shard-partition invariance on the clean world: re-probe at
         // explicit shard counts and demand bit-identical run metrics
@@ -516,6 +612,7 @@ mod tests {
             fuzz_iters: 40,
             paper_scale: false,
             shards: 0,
+            reference_rebuild: false,
         }
     }
 

@@ -14,6 +14,7 @@
 
 use rand::RngExt;
 use remote_peering::campaign::Campaign;
+use remote_peering::fork::{apply_delta_in_place, Delta, WorldFork};
 use remote_peering::world::World;
 use rp_ixp::LgOperator;
 use rp_netsim::FaultConfig;
@@ -91,42 +92,79 @@ impl FaultPlan {
         c
     }
 
-    /// Apply the scene-level faults to a built world, in place.
-    ///
-    /// Stale rows: listed, present members flip to `absent = true` — the
-    /// registry still lists them (that is what *stale* means) but pings go
-    /// unanswered, which the sample-size filter must absorb. Missing LGs:
-    /// an IXP with two vantages keeps only one, disabling the
-    /// LG-consistent cross-check there. Every verdict draws from
+    /// Decide the scene-level degradations for `world` without applying
+    /// them: the [`Delta`] list (in deterministic per-IXP, per-slot order)
+    /// plus the tallies. Every verdict draws from
     /// `seed::rng2(link.seed, "scene-fault", ixp, member)`, so the same
-    /// plan degrades the same world identically every time.
-    pub fn degrade_scene(&self, world: &mut World) -> SceneFaults {
-        // Even a quiet plan counts as a mutation: the world may no longer
-        // match its config, so it must never alias the pristine build in
-        // the probe memo.
-        world.mark_mutated();
+    /// plan degrades the same world identically every time — whether the
+    /// deltas are then applied in place ([`FaultPlan::degrade_scene`]) or
+    /// through a copy-on-write fork ([`FaultPlan::degrade_fork`]).
+    pub fn scene_deltas(&self, world: &World) -> (Vec<Delta>, SceneFaults) {
+        let mut deltas = Vec::new();
         let mut out = SceneFaults::default();
-        for inst in &mut world.scene.ixps {
+        for inst in world.scene.ixps.iter() {
             let ixp = inst.id.0 as u64;
-            for (slot, member) in inst.members.iter_mut().enumerate() {
+            for (slot, member) in inst.members.iter().enumerate() {
                 if !member.listing.listed || member.profile.absent {
                     continue;
                 }
                 let mut rng = seed::rng2(self.link.seed, "scene-fault", ixp, slot as u64);
                 if rng.random::<f64>() < self.stale_membership {
-                    member.profile.absent = true;
+                    deltas.push(Delta::RowStale {
+                        ixp: inst.id,
+                        slot: slot as u32,
+                    });
                     out.stale_rows += 1;
                 }
             }
             if inst.meta.lg.len() >= 2 {
                 let mut rng = seed::rng2(self.link.seed, "scene-fault-lg", ixp, 0);
                 if rng.random::<f64>() < self.missing_lg {
-                    inst.meta.lg = ONE_LG;
+                    deltas.push(Delta::LgDrop {
+                        ixp: inst.id,
+                        keep: ONE_LG,
+                    });
                     out.dropped_lgs += 1;
                 }
             }
         }
+        (deltas, out)
+    }
+
+    /// Apply the scene-level faults to a built world, in place.
+    ///
+    /// Stale rows: listed, present members flip to `absent = true` — the
+    /// registry still lists them (that is what *stale* means) but pings go
+    /// unanswered, which the sample-size filter must absorb. Missing LGs:
+    /// an IXP with two vantages keeps only one, disabling the
+    /// LG-consistent cross-check there. The verdicts come from
+    /// [`FaultPlan::scene_deltas`]; prefer [`FaultPlan::degrade_fork`],
+    /// which leaves the input world untouched and keeps a delta log for
+    /// incremental re-probing.
+    pub fn degrade_scene(&self, world: &mut World) -> SceneFaults {
+        // Even a quiet plan counts as a mutation: the world may no longer
+        // match its config, so it must never alias the pristine build in
+        // the probe memo.
+        world.mark_mutated();
+        let (deltas, out) = self.scene_deltas(world);
+        for d in &deltas {
+            apply_delta_in_place(world, d);
+        }
         out
+    }
+
+    /// Fork `world` and apply the scene-level faults to the fork. Same
+    /// verdicts, same bytes as [`FaultPlan::degrade_scene`] on a clone —
+    /// proven by `degrade_fork_matches_degrade_scene` below — but the
+    /// parent stays pristine, the clone cost is refcount bumps, and the
+    /// fork's dirty set scopes any later incremental re-probe.
+    pub fn degrade_fork(&self, world: &World) -> (WorldFork, SceneFaults) {
+        let (deltas, out) = self.scene_deltas(world);
+        let mut fork = world.fork();
+        for d in deltas {
+            fork.apply(d);
+        }
+        (fork, out)
     }
 }
 
@@ -153,6 +191,34 @@ mod tests {
                 assert_eq!(ma.profile.absent, mb.profile.absent);
             }
         }
+    }
+
+    #[test]
+    fn degrade_fork_matches_degrade_scene() {
+        let cfg = WorldConfig::test_scale(11);
+        let plan = FaultPlan::standard(99, SimDuration::from_days(14));
+        let parent = World::build(&cfg);
+        let (fork, ff) = plan.degrade_fork(&parent);
+        let mut in_place = World::build(&cfg);
+        let fi = plan.degrade_scene(&mut in_place);
+        assert_eq!(ff, fi);
+        assert!(ff.stale_rows > 0);
+        for (xa, xb) in fork.world().scene.ixps.iter().zip(&in_place.scene.ixps) {
+            assert_eq!(
+                format!("{xa:?}"),
+                format!("{xb:?}"),
+                "fork and in-place degradation must agree byte-for-byte"
+            );
+        }
+        // The fork's parent is untouched, and the dirty set names exactly
+        // the IXPs the deltas hit.
+        let pristine = World::build(&cfg);
+        for (xa, xb) in parent.scene.ixps.iter().zip(&pristine.scene.ixps) {
+            assert_eq!(format!("{xa:?}"), format!("{xb:?}"));
+        }
+        let touched: std::collections::BTreeSet<_> =
+            fork.deltas().iter().map(|d| d.touches()).collect();
+        assert_eq!(&touched, fork.dirty_ixps());
     }
 
     #[test]

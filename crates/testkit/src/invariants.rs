@@ -389,6 +389,25 @@ pub fn shard_partition_invariant(
     }
 }
 
+/// Fork commutativity: applying deltas A then B on one fork must equal
+/// forking twice (A on one child, B on the other) and merging the second
+/// into the first. `sequential` and `merged` each build their fork chain
+/// and render a digest of the resulting world (content fingerprint of
+/// the scene plus the fork's memo key); the two digests must be
+/// identical — a divergence means delta application depends on which
+/// fork object replayed it, exactly the aliasing bug copy-on-write
+/// forking must not have.
+pub fn fork_commutative(
+    h: &mut Harness,
+    sequential: &dyn Fn() -> String,
+    merged: &dyn Fn() -> String,
+) {
+    let (a, b) = (sequential(), merged());
+    h.check("fork_commutative", a == b, || {
+        format!("sequential fork digest {a} but fork-and-merge digest {b}")
+    });
+}
+
 /// Replay exactness: running the same seeded computation twice produces
 /// bit-identical results. This is the invariant the whole fault harness
 /// rests on — a fault sequence must be a pure function of its seed.
@@ -709,6 +728,75 @@ mod tests {
             .violations
             .iter()
             .all(|v| v.invariant == "shard_partition_invariant"));
+    }
+
+    #[test]
+    fn fork_commutative_real_and_mutated() {
+        use remote_peering::fork::Delta;
+        use remote_peering::world::{World, WorldConfig};
+        let world = World::build(&WorldConfig::test_scale(23));
+        let ixps = world.studied_ixps();
+        let da = Delta::RowStale {
+            ixp: ixps[0],
+            slot: 0,
+        };
+        let db = Delta::PortUpgrade {
+            ixp: ixps[1],
+            slot: 0,
+            delay_ms: 0.05,
+        };
+        let digest = |f: &remote_peering::fork::WorldFork| {
+            format!(
+                "{:016x}:{:016x}",
+                f.fingerprint(),
+                remote_peering::memo::fingerprint(&f.world().scene)
+            )
+        };
+
+        let mut h = Harness::new();
+        fork_commutative(
+            &mut h,
+            &|| {
+                let mut f = world.fork();
+                f.apply(da.clone());
+                f.apply(db.clone());
+                digest(&f)
+            },
+            &|| {
+                let mut fa = world.fork();
+                fa.apply(da.clone());
+                let mut fb = world.fork();
+                fb.apply(db.clone());
+                fa.absorb(&fb);
+                digest(&fa)
+            },
+        );
+        assert!(h.ok(), "{:?}", h.violations);
+        assert_eq!(h.checks, 1);
+
+        // Mutated oracle: a merge that silently drops the other fork's
+        // deltas — the worlds diverge and the checker must fire.
+        let mut h = Harness::new();
+        fork_commutative(
+            &mut h,
+            &|| {
+                let mut f = world.fork();
+                f.apply(da.clone());
+                f.apply(db.clone());
+                digest(&f)
+            },
+            &|| {
+                let mut fa = world.fork();
+                fa.apply(da.clone());
+                let _dropped = world.fork();
+                digest(&fa)
+            },
+        );
+        assert!(!h.ok());
+        assert!(h
+            .violations
+            .iter()
+            .all(|v| v.invariant == "fork_commutative"));
     }
 
     #[test]

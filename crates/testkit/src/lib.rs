@@ -33,13 +33,20 @@
 //!   `repro check [--faults N] [--fuzz N]`: one clean campaign, one
 //!   faulted campaign, the invariant suite over both, the fuzzer, and a
 //!   deterministic JSON report of injected faults vs. caught violations.
+//! - [`differential`] — the fork-equivalence harness: randomized delta
+//!   sequences run fork+incremental and from-scratch-rebuild arms, held
+//!   to byte identity over probe sets, run metrics, check reports, and
+//!   sweep JSON; a deliberately stale broken-oracle arm proves the
+//!   comparison can fail.
 
 pub mod check;
+pub mod differential;
 pub mod faults;
 pub mod fuzz;
 pub mod invariants;
 
 pub use check::{run_check, CheckConfig, CheckOutcome};
+pub use differential::{run_differential, DiffOutcome};
 pub use faults::{FaultPlan, SceneFaults};
 pub use fuzz::{FuzzReport, FuzzTarget};
 pub use invariants::{Harness, Violation};

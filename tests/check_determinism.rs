@@ -33,8 +33,8 @@ fn run_check(out: &Path, threads: &str) -> Output {
 /// *bytes themselves* must survive every event-queue, frame-pool, and
 /// world-memo rework, so the expected digests are pinned rather than only
 /// compared across runs.
-const GOLDEN_CHECK_REPORT_FNV: u64 = 0x4645_dcc4_ba88_fe8b;
-const GOLDEN_CHECK_STDOUT_FNV: u64 = 0x2192_a2ed_cb49_d7e8;
+const GOLDEN_CHECK_REPORT_FNV: u64 = 0x230d_ba12_3258_b478;
+const GOLDEN_CHECK_STDOUT_FNV: u64 = 0x849a_92d0_9c15_16fd;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

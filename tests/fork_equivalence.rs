@@ -1,0 +1,132 @@
+//! Fork equivalence, end to end through the real `repro` binary: the
+//! copy-on-write fork + incremental-recompute paths must produce artifacts
+//! **byte-identical** to the from-scratch reference arms, across the full
+//! `--threads 1/4` × `--shards 1/2/4` matrix.
+//!
+//! Two artifact surfaces are compared:
+//!
+//! * `repro check` — the default faulted arm forks the clean world and
+//!   degrades it through deltas; `--reference-rebuild` rebuilds and
+//!   degrades in place. `check_report.json` and the stdout digest may not
+//!   differ by a byte between the two.
+//! * `repro sweep smoke` — the default engine reuses memoized worlds and
+//!   probe sets across cells; `--probe-rebuild` rebuilds and re-probes
+//!   everything. `sweeps/smoke.json` may not differ by a byte.
+//!
+//! The library-level differential harness (`rp_testkit::differential`)
+//! additionally covers randomized delta sequences and proves the
+//! comparison can fail (broken oracle); this test pins the user-visible
+//! artifacts on the real CLI surface.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const SHARD_COUNTS: [&str; 3] = ["1", "2", "4"];
+const THREAD_COUNTS: [&str; 2] = ["1", "4"];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rp-fork-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_check(out: &Path, threads: &str, shards: &str, reference: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["check", "--faults", "40", "--fuzz", "60"])
+        .args(["--scale", "test", "--seed", "42"])
+        .args(["--threads", threads])
+        .args(["--shards", shards])
+        .args(["--out", out.to_str().unwrap()]);
+    if reference {
+        cmd.arg("--reference-rebuild");
+    }
+    cmd.output().expect("spawn repro check")
+}
+
+fn run_sweep(out: &Path, threads: &str, shards: &str, rebuild: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["sweep", "smoke", "--scale", "test", "--seed", "42"])
+        .args(["--threads", threads])
+        .args(["--shards", shards])
+        .args(["--out", out.to_str().unwrap()]);
+    if rebuild {
+        cmd.arg("--probe-rebuild");
+    }
+    cmd.output().expect("spawn repro sweep")
+}
+
+#[test]
+fn check_fork_path_matches_reference_rebuild_across_the_matrix() {
+    for threads in THREAD_COUNTS {
+        for shards in SHARD_COUNTS {
+            let tag = format!("check-t{threads}-s{shards}");
+            let fork_out = temp_dir(&format!("{tag}-fork"));
+            let ref_out = temp_dir(&format!("{tag}-ref"));
+            let fork = run_check(&fork_out, threads, shards, false);
+            let reference = run_check(&ref_out, threads, shards, true);
+            assert!(
+                fork.status.success(),
+                "[{tag}] fork-path check failed: {}",
+                String::from_utf8_lossy(&fork.stderr)
+            );
+            assert!(
+                reference.status.success(),
+                "[{tag}] reference check failed: {}",
+                String::from_utf8_lossy(&reference.stderr)
+            );
+            assert_eq!(
+                String::from_utf8_lossy(&fork.stdout),
+                String::from_utf8_lossy(&reference.stdout),
+                "[{tag}] check stdout differs between fork and rebuild"
+            );
+            let a = std::fs::read(fork_out.join("check_report.json")).expect("fork report");
+            let b = std::fs::read(ref_out.join("check_report.json")).expect("reference report");
+            assert!(!a.is_empty());
+            assert_eq!(
+                a, b,
+                "[{tag}] check_report.json differs between fork and rebuild"
+            );
+            let _ = std::fs::remove_dir_all(&fork_out);
+            let _ = std::fs::remove_dir_all(&ref_out);
+        }
+    }
+}
+
+#[test]
+fn sweep_probe_reuse_matches_probe_rebuild_across_the_matrix() {
+    for threads in THREAD_COUNTS {
+        for shards in SHARD_COUNTS {
+            let tag = format!("sweep-t{threads}-s{shards}");
+            let reuse_out = temp_dir(&format!("{tag}-reuse"));
+            let rebuild_out = temp_dir(&format!("{tag}-rebuild"));
+            let reuse = run_sweep(&reuse_out, threads, shards, false);
+            let rebuild = run_sweep(&rebuild_out, threads, shards, true);
+            assert!(
+                reuse.status.success(),
+                "[{tag}] reuse sweep failed: {}",
+                String::from_utf8_lossy(&reuse.stderr)
+            );
+            assert!(
+                rebuild.status.success(),
+                "[{tag}] rebuild sweep failed: {}",
+                String::from_utf8_lossy(&rebuild.stderr)
+            );
+            assert_eq!(
+                String::from_utf8_lossy(&reuse.stdout),
+                String::from_utf8_lossy(&rebuild.stdout),
+                "[{tag}] sweep stdout differs between reuse and rebuild"
+            );
+            let a = std::fs::read(reuse_out.join("sweeps/smoke.json")).expect("reuse sweep json");
+            let b =
+                std::fs::read(rebuild_out.join("sweeps/smoke.json")).expect("rebuild sweep json");
+            assert!(!a.is_empty());
+            assert_eq!(
+                a, b,
+                "[{tag}] sweeps/smoke.json differs between reuse and rebuild"
+            );
+            let _ = std::fs::remove_dir_all(&reuse_out);
+            let _ = std::fs::remove_dir_all(&rebuild_out);
+        }
+    }
+}

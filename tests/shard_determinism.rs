@@ -16,7 +16,7 @@ use std::process::{Command, Output};
 /// Golden FNV-1a digest of the seed-42 `check_report.json` (40 fault
 /// trials, 60 fuzz iterations, test scale) — the same capture
 /// `tests/check_determinism.rs` pins, asserted here at every matrix cell.
-const GOLDEN_CHECK_REPORT_FNV: u64 = 0x4645_dcc4_ba88_fe8b;
+const GOLDEN_CHECK_REPORT_FNV: u64 = 0x230d_ba12_3258_b478;
 
 /// Golden FNV-1a digest of the seed-42 two-arm smoke sweep's
 /// `sweeps/smoke.json` (2 replicates, thresholds 10/14, test scale).
